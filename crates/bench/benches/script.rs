@@ -1,0 +1,80 @@
+//! Experiment E8 — Rua interpreter microbenchmarks.
+//!
+//! Supports the paper's "the interpreter is fast/small enough to embed
+//! everywhere" argument (Section VI): parsing a strategy-sized chunk,
+//! calling a stored predicate (the per-tick monitor cost), arithmetic
+//! (fib), and table traffic.
+
+use std::hint::black_box;
+
+use adapta_script::{Interpreter, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PREDICATE: &str = r#"function(observer, value, monitor)
+    local incr
+    incr = monitor
+    return value > 50 and incr ~= nil
+end"#;
+
+fn bench_script(c: &mut Criterion) {
+    let mut group = c.benchmark_group("script");
+
+    group.bench_function("parse_predicate", |b| {
+        let mut rua = Interpreter::new();
+        b.iter(|| rua.compile_function(black_box(PREDICATE)).unwrap())
+    });
+
+    group.bench_function("call_predicate", |b| {
+        let mut rua = Interpreter::new();
+        let f = rua.compile_function(PREDICATE).unwrap();
+        let args = || vec![Value::Nil, Value::Num(80.0), Value::Bool(true)];
+        b.iter(|| rua.call(&f, black_box(args())).unwrap())
+    });
+
+    group.bench_function("fib_15", |b| {
+        let mut rua = Interpreter::new();
+        rua.eval("function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end")
+            .unwrap();
+        let f = rua.global("fib");
+        b.iter(|| rua.call(&f, vec![black_box(Value::Num(15.0))]).unwrap())
+    });
+
+    group.bench_function("table_churn", |b| {
+        let mut rua = Interpreter::new();
+        let f = rua
+            .compile_function(
+                r#"function(n)
+                    local t = {}
+                    for i = 1, n do t[i] = i * 2 end
+                    local sum = 0
+                    for i = 1, n do sum = sum + t[i] end
+                    return sum
+                end"#,
+            )
+            .unwrap();
+        b.iter(|| rua.call(&f, vec![black_box(Value::Num(100.0))]).unwrap())
+    });
+
+    group.bench_function("string_ops", |b| {
+        let mut rua = Interpreter::new();
+        let f = rua
+            .compile_function(
+                r#"function(s)
+                    local out = ""
+                    for i = 1, 20 do out = out .. s .. i end
+                    return string.len(out)
+                end"#,
+            )
+            .unwrap();
+        b.iter(|| rua.call(&f, vec![black_box(Value::str("x"))]).unwrap())
+    });
+
+    group.bench_function("interpreter_new", |b| {
+        b.iter(|| black_box(Interpreter::new()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_script);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment E5 (micro) — trading-service operation costs.
+//!
+//! Complements `exp_trading_scale` with steady-state microbenches:
+//! constraint parsing/evaluation, export, and full queries at a fixed
+//! offer population.
+
+use std::hint::black_box;
+
+use adapta_idl::{TypeCode, Value};
+use adapta_orb::{ObjRef, Orb};
+use adapta_trading::{Constraint, ExportRequest, PropDef, PropMode, Query, ServiceTypeDef, Trader};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn populated_trader(n: usize) -> (Orb, Trader) {
+    let orb = Orb::new("bench-trading");
+    let trader = Trader::new(&orb);
+    trader
+        .add_type(
+            ServiceTypeDef::new("Svc")
+                .with_property(PropDef::new("LoadAvg", TypeCode::Double, PropMode::Normal))
+                .with_property(PropDef::new("Host", TypeCode::Str, PropMode::Readonly)),
+        )
+        .unwrap();
+    for i in 0..n {
+        trader
+            .export(
+                ExportRequest::new("Svc", ObjRef::new(orb.endpoint(), format!("s{i}"), "Svc"))
+                    .with_property("LoadAvg", Value::Double((i % 100) as f64))
+                    .with_property("Host", Value::from(format!("node{i}"))),
+            )
+            .unwrap();
+    }
+    (orb, trader)
+}
+
+fn bench_trading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trading");
+
+    group.bench_function("constraint_parse", |b| {
+        b.iter(|| {
+            Constraint::parse(black_box(
+                "LoadAvg < 50 and LoadAvgIncreasing == no or Host ~ 'node'",
+            ))
+            .unwrap()
+        })
+    });
+
+    {
+        let constraint = Constraint::parse("LoadAvg < 50 and Host ~ 'node'").unwrap();
+        let props = vec![
+            ("LoadAvg".to_owned(), Value::Double(12.0)),
+            ("Host".to_owned(), Value::from("node7")),
+        ];
+        group.bench_function("constraint_eval", |b| {
+            b.iter(|| constraint.matches(black_box(&props)))
+        });
+    }
+
+    {
+        let (_orb, trader) = populated_trader(0);
+        let mut i = 0u64;
+        group.bench_function("export", |b| {
+            b.iter(|| {
+                i += 1;
+                trader
+                    .export(
+                        ExportRequest::new(
+                            "Svc",
+                            ObjRef::new("inproc://x", format!("b{i}"), "Svc"),
+                        )
+                        .with_property("LoadAvg", Value::Double(1.0)),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+
+    for n in [100usize, 1000] {
+        let (_orb, trader) = populated_trader(n);
+        let q = Query::new("Svc")
+            .constraint("LoadAvg < 50")
+            .preference("min LoadAvg")
+            .return_card(10)
+            .search_card(u32::MAX);
+        group.bench_function(format!("query_{n}_offers"), |b| {
+            b.iter(|| trader.query(black_box(&q)).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trading);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Experiment E9 (extension) — component failure and re-selection.
+//!
+//! The trading+monitoring machinery also buys availability: when the
+//! bound component dies, a smart proxy re-selects (excluding the dead
+//! server, whose stale offer may still sit in the trader) and retries —
+//! the application sees nothing. A plain proxy fails on every call
+//! until someone intervenes.
+//!
+//! Run with: `cargo run -p adapta-bench --release --bin exp_failover`
+
+use adapta_bench::Table;
+use adapta_core::{Infrastructure, ServerSpec};
+use adapta_idl::Value;
+
+const CALLS_BEFORE: usize = 100;
+const CALLS_AFTER: usize = 100;
+
+struct Outcome {
+    ok: usize,
+    failed: usize,
+    first_ok_after_crash: Option<usize>,
+    failovers: u64,
+}
+
+fn run(smart: bool) -> Outcome {
+    let infra = Infrastructure::in_process().expect("infra");
+    let a = infra
+        .spawn_server(ServerSpec::echo("FoSvc", "fo-primary"))
+        .expect("server a");
+    infra
+        .spawn_server(ServerSpec::echo("FoSvc", "fo-backup"))
+        .expect("server b");
+
+    // Both clients start bound to the primary.
+    let smart_proxy = infra
+        .smart_proxy("FoSvc")
+        .preference("with Host == 'fo-primary'")
+        .build()
+        .expect("proxy");
+    let plain_proxy = infra.orb().proxy(a.target());
+
+    let mut out = Outcome {
+        ok: 0,
+        failed: 0,
+        first_ok_after_crash: None,
+        failovers: 0,
+    };
+    let call = |out: &mut Outcome, after_crash: Option<usize>| {
+        let result = if smart {
+            smart_proxy
+                .invoke("hello", vec![Value::from("x")])
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        } else {
+            plain_proxy
+                .invoke("hello", vec![Value::from("x")])
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        };
+        match result {
+            Ok(()) => {
+                out.ok += 1;
+                if let (Some(i), None) = (after_crash, out.first_ok_after_crash) {
+                    out.first_ok_after_crash = Some(i);
+                }
+            }
+            Err(_) => out.failed += 1,
+        }
+    };
+
+    for _ in 0..CALLS_BEFORE {
+        call(&mut out, None);
+    }
+    // The primary dies without cleaning up its offer.
+    a.crash();
+    for i in 0..CALLS_AFTER {
+        call(&mut out, Some(i + 1));
+    }
+    out.failovers = smart_proxy.failovers();
+    out
+}
+
+fn main() {
+    println!("E9 (extension): bound component crashes after {CALLS_BEFORE} calls;");
+    println!("{CALLS_AFTER} more calls follow. The dead server's offer stays in the");
+    println!("trader (no cleanup), so re-selection must actively exclude it.\n");
+
+    let mut table = Table::new(vec![
+        "client",
+        "ok",
+        "failed",
+        "first success after crash",
+        "proxy failovers",
+    ]);
+    for (label, smart) in [("plain proxy", false), ("smart proxy", true)] {
+        let out = run(smart);
+        table.row(vec![
+            label.into(),
+            out.ok.to_string(),
+            out.failed.to_string(),
+            out.first_ok_after_crash
+                .map(|i| format!("call #{i}"))
+                .unwrap_or_else(|| "never".into()),
+            out.failovers.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(the smart proxy absorbs the failure inside the failing invocation:\n\
+         zero observed errors; the plain proxy fails for the rest of the run)"
+    );
+}

@@ -1,0 +1,26 @@
+//! Experiment harness for the `adapta` reproduction.
+//!
+//! The paper's evaluation is a programming example plus qualitative
+//! claims; this crate quantifies each claim (see `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results):
+//!
+//! | binary | experiment |
+//! |---|---|
+//! | `exp_load_sharing` | E1 — client-driven load sharing: static-random vs trade-once (Badidi) vs auto-adaptive |
+//! | `exp_monitoring` | E2 — event-driven notification vs polling |
+//! | `exp_remote_eval` | E3 — remote evaluation vs value streaming |
+//! | `exp_postponed` | E6 — postponed vs immediate event handling |
+//! | `exp_hot_swap` | E7 — dynamic strategy replacement |
+//! | `exp_trading_scale` | E5 — trader query scalability |
+//!
+//! Criterion benches (`cargo bench`): `invocation` (E4), `trading`
+//! (E5 micro), `script` (E8).
+//!
+//! Every experiment runs in virtual time with seeded randomness: the
+//! numbers are exactly reproducible.
+
+pub mod loadsim;
+pub mod table;
+
+pub use loadsim::{run_load_sharing, LoadPhase, LoadSharingOutcome, LoadSharingParams};
+pub use table::Table;

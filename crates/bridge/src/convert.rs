@@ -1,0 +1,193 @@
+//! Value conversion between the scripting language and the wire.
+//!
+//! The mapping mirrors LuaCorba's:
+//!
+//! | wire ([`adapta_idl::Value`]) | script ([`adapta_script::Value`]) |
+//! |---|---|
+//! | `Null` | `nil` |
+//! | `Bool` | boolean |
+//! | `Long`/`Double` | number |
+//! | `Str` | string |
+//! | `Seq` | table with keys `1..n` |
+//! | `Map` | table with string keys |
+//! | `ObjRef` | table `{__ref = "adapta-ref:…"}` (hosts add methods) |
+//! | `Bytes` | string (lossy UTF-8) — payloads are treated as opaque |
+//!
+//! Script→wire: numbers become `Long` when integral (so `t[1]`-style
+//! indices survive), tables become `Seq` when they are pure arrays and
+//! `Map` otherwise, tables carrying `__ref` become object references,
+//! and functions cannot cross (they are shipped as *source code
+//! strings* instead — the remote-evaluation idiom).
+
+use adapta_idl::{ObjRefData, Value as Wire};
+use adapta_script::{Table, Value as Script};
+
+/// Converts a script value to a wire value.
+///
+/// Functions convert to `Null` (code travels as source text, never as
+/// closures); table keys are stringified.
+pub fn to_wire(v: &Script) -> Wire {
+    match v {
+        Script::Nil => Wire::Null,
+        Script::Bool(b) => Wire::Bool(*b),
+        Script::Num(n) => {
+            if n.fract() == 0.0 && n.is_finite() && n.abs() < 9e15 {
+                Wire::Long(*n as i64)
+            } else {
+                Wire::Double(*n)
+            }
+        }
+        Script::Str(s) => Wire::Str(s.to_string()),
+        Script::Table(t) => {
+            let table = t.borrow();
+            // Object-reference wrapper?
+            if let Script::Str(uri) = table.get_str("__ref") {
+                if let Some(data) = ObjRefData::from_uri(&uri) {
+                    return Wire::ObjRef(data);
+                }
+            }
+            let len = table.len();
+            if len > 0 && table.total_entries() == len {
+                // Pure array part → sequence.
+                let items = (1..=len)
+                    .map(|i| to_wire(&table.get(&Script::from(i as i64))))
+                    .collect();
+                Wire::Seq(items)
+            } else if table.is_empty() {
+                Wire::Seq(Vec::new())
+            } else {
+                let fields = table
+                    .iter()
+                    .map(|(k, v)| (k.to_display_string(), to_wire(&v)))
+                    .collect();
+                Wire::Map(fields)
+            }
+        }
+        Script::Function(_) | Script::Native(_) => Wire::Null,
+    }
+}
+
+/// Converts a wire value to a script value.
+///
+/// Object references become `{__ref = "<uri>", __type = "<interface>"}`
+/// tables; hosts that can invoke remote objects (e.g. `adapta-core`)
+/// install callable methods on such tables after conversion.
+pub fn from_wire(v: &Wire) -> Script {
+    match v {
+        Wire::Null => Script::Nil,
+        Wire::Bool(b) => Script::Bool(*b),
+        Wire::Long(n) => Script::Num(*n as f64),
+        Wire::Double(d) => Script::Num(*d),
+        Wire::Str(s) => Script::str(s),
+        Wire::Bytes(b) => Script::str(String::from_utf8_lossy(b)),
+        Wire::Seq(items) => {
+            let mut t = Table::new();
+            for item in items {
+                t.push(from_wire(item));
+            }
+            Script::Table(std::rc::Rc::new(std::cell::RefCell::new(t)))
+        }
+        Wire::Map(fields) => {
+            let mut t = Table::new();
+            for (k, v) in fields {
+                t.set_str(k, from_wire(v));
+            }
+            Script::Table(std::rc::Rc::new(std::cell::RefCell::new(t)))
+        }
+        Wire::ObjRef(data) => {
+            let mut t = Table::new();
+            t.set_str("__ref", Script::str(data.to_uri()));
+            t.set_str("__type", Script::str(&data.type_id));
+            Script::Table(std::rc::Rc::new(std::cell::RefCell::new(t)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for wire in [
+            Wire::Null,
+            Wire::Bool(true),
+            Wire::Long(42),
+            Wire::Double(2.5),
+            Wire::Str("hi".into()),
+        ] {
+            assert_eq!(to_wire(&from_wire(&wire)), wire);
+        }
+    }
+
+    #[test]
+    fn integral_doubles_become_longs() {
+        assert_eq!(to_wire(&Script::Num(3.0)), Wire::Long(3));
+        assert_eq!(to_wire(&Script::Num(3.5)), Wire::Double(3.5));
+        // Long → number → Long survives.
+        assert_eq!(to_wire(&from_wire(&Wire::Long(7))), Wire::Long(7));
+        // Integral Double degrades to Long (documented, harmless for
+        // dynamic typing).
+        assert_eq!(to_wire(&from_wire(&Wire::Double(7.0))), Wire::Long(7));
+    }
+
+    #[test]
+    fn sequences_round_trip() {
+        let wire = Wire::Seq(vec![Wire::Long(1), Wire::Str("x".into())]);
+        assert_eq!(to_wire(&from_wire(&wire)), wire);
+        assert_eq!(to_wire(&from_wire(&Wire::Seq(vec![]))), Wire::Seq(vec![]));
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let wire = Wire::map([("a", Wire::Long(1)), ("b", Wire::Str("x".into()))]);
+        let back = to_wire(&from_wire(&wire));
+        // Order may normalise (tables sort keys); compare as sets.
+        let Wire::Map(mut fields) = back else {
+            panic!()
+        };
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            fields,
+            vec![
+                ("a".to_owned(), Wire::Long(1)),
+                ("b".to_owned(), Wire::Str("x".into()))
+            ]
+        );
+    }
+
+    #[test]
+    fn objrefs_round_trip_via_ref_tables() {
+        let data = ObjRefData::new("inproc://n", "mon-1", "EventMonitor");
+        let script = from_wire(&Wire::ObjRef(data.clone()));
+        let t = script.as_table().unwrap().borrow();
+        assert_eq!(t.get_str("__type"), Script::str("EventMonitor"));
+        drop(t);
+        assert_eq!(to_wire(&script), Wire::ObjRef(data));
+    }
+
+    #[test]
+    fn functions_do_not_cross() {
+        let mut interp = adapta_script::Interpreter::new();
+        let f = interp.compile("return 1").unwrap();
+        assert_eq!(to_wire(&f), Wire::Null);
+    }
+
+    #[test]
+    fn bytes_become_strings() {
+        let wire = Wire::Bytes(bytes::Bytes::from_static(b"abc"));
+        assert_eq!(from_wire(&wire), Script::str("abc"));
+    }
+
+    #[test]
+    fn mixed_tables_become_maps() {
+        let mut t = Table::new();
+        t.push(Script::from(1i64));
+        t.set_str("k", Script::from(2i64));
+        let script = Script::Table(std::rc::Rc::new(std::cell::RefCell::new(t)));
+        let wire = to_wire(&script);
+        assert!(matches!(wire, Wire::Map(_)));
+        assert_eq!(wire.get("1"), Some(&Wire::Long(1)));
+        assert_eq!(wire.get("k"), Some(&Wire::Long(2)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Errors of the adaptation infrastructure.
+
+use std::error::Error;
+use std::fmt;
+
+use adapta_bridge::ActorError;
+use adapta_orb::OrbError;
+use adapta_trading::TradingError;
+
+/// Errors raised by smart proxies, agents and the infrastructure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A broker failure.
+    Orb(OrbError),
+    /// A trading-service failure.
+    Trading(TradingError),
+    /// A scripting failure (strategy/predicate code).
+    Script(String),
+    /// No offer satisfied even the relaxed query.
+    NoSuitableOffer {
+        /// The service type looked for.
+        service_type: String,
+    },
+    /// The smart proxy has no bound component and selection failed.
+    Unbound(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Orb(e) => write!(f, "{e}"),
+            CoreError::Trading(e) => write!(f, "{e}"),
+            CoreError::Script(m) => write!(f, "script error: {m}"),
+            CoreError::NoSuitableOffer { service_type } => {
+                write!(f, "no suitable offer for service type `{service_type}`")
+            }
+            CoreError::Unbound(m) => write!(f, "smart proxy is unbound: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Orb(e) => Some(e),
+            CoreError::Trading(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OrbError> for CoreError {
+    fn from(e: OrbError) -> Self {
+        CoreError::Orb(e)
+    }
+}
+
+impl From<TradingError> for CoreError {
+    fn from(e: TradingError) -> Self {
+        CoreError::Trading(e)
+    }
+}
+
+impl From<ActorError> for CoreError {
+    fn from(e: ActorError) -> Self {
+        CoreError::Script(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = OrbError::exception("x").into();
+        assert!(e.to_string().contains('x'));
+        let e: CoreError = TradingError::UnknownServiceType("T".into()).into();
+        assert!(e.to_string().contains('T'));
+        let e = CoreError::NoSuitableOffer {
+            service_type: "Hello".into(),
+        };
+        assert!(e.to_string().contains("Hello"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

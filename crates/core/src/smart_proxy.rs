@@ -1,0 +1,799 @@
+//! Smart proxies: transparent, auto-adaptive service access.
+//!
+//! A [`SmartProxy`] stands for a *type of service*, not a specific
+//! server (Figure 5). It selects the concrete component through the
+//! trading service, registers itself as an event observer with the
+//! monitors behind the offer's dynamic properties, queues notifications,
+//! and applies adaptation strategies *immediately before the next
+//! service invocation* — the paper's postponed event handling, which
+//! "avoids conflicts with ongoing traffic when a reconfiguration is
+//! done". Strategies live outside the application's functional code and
+//! can be native Rust or Rua source installed (and replaced) at run
+//! time.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use adapta_bridge::{FuncHandle, ScriptActor};
+use adapta_idl::{InterfaceRepository, Value};
+use adapta_orb::{ObjRef, Orb, OrbError, ServantFn};
+use adapta_trading::{OfferMatch, Query, TradingService};
+use parking_lot::Mutex;
+
+use crate::error::CoreError;
+use crate::script_env;
+use crate::Result;
+
+/// A monitor subscription the proxy (re-)establishes on every binding.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// The offer's dynamic property whose evaluator is the monitor.
+    pub property: String,
+    /// Event id to register (e.g. `"LoadIncrease"`).
+    pub event_id: String,
+    /// Rua source of the event-diagnosing predicate, evaluated at the
+    /// monitor (remote evaluation): `function(observer, value, monitor)`.
+    pub predicate: String,
+}
+
+impl Subscription {
+    /// Creates a subscription.
+    pub fn new(
+        property: impl Into<String>,
+        event_id: impl Into<String>,
+        predicate: impl Into<String>,
+    ) -> Self {
+        Subscription {
+            property: property.into(),
+            event_id: event_id.into(),
+            predicate: predicate.into(),
+        }
+    }
+}
+
+/// The closure type behind [`Strategy::Native`]: receives the proxy
+/// and the event id.
+pub type NativeStrategy = Arc<dyn Fn(&SmartProxy, &str) + Send + Sync>;
+
+/// How a smart proxy reacts to an event.
+pub enum Strategy {
+    /// Re-run the primary query; keep the current component when
+    /// nothing better matches (the default).
+    Reselect,
+    /// A native strategy.
+    Native(NativeStrategy),
+    /// A script strategy `function(self, event)` stored in the proxy's
+    /// actor; `self` is the script facade (with `_select`, `_observer`,
+    /// monitor proxies…).
+    Script(FuncHandle),
+}
+
+impl std::fmt::Debug for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Reselect => write!(f, "Reselect"),
+            Strategy::Native(_) => write!(f, "Native"),
+            Strategy::Script(_) => write!(f, "Script"),
+        }
+    }
+}
+
+struct Binding {
+    target: ObjRef,
+    offer: OfferMatch,
+    /// `(monitor, observer id)` pairs to detach on rebind.
+    attachments: Vec<(ObjRef, i64)>,
+}
+
+struct SpInner {
+    orb: Orb,
+    repo: InterfaceRepository,
+    trader: Arc<dyn TradingService>,
+    service_type: String,
+    constraint: String,
+    preference: String,
+    fallback_on_empty: bool,
+    immediate_handling: bool,
+    subscriptions: Vec<Subscription>,
+    strategies: Mutex<HashMap<String, Strategy>>,
+    binding: Mutex<Option<Binding>>,
+    events: Mutex<VecDeque<String>>,
+    observer_ref: OnceLock<ObjRef>,
+    observer_key: Mutex<String>,
+    actor: Mutex<Option<ScriptActor>>,
+    facade: OnceLock<FuncHandle>,
+    invocations: AtomicU64,
+    rebinds: AtomicU64,
+    events_received: AtomicU64,
+    events_handled: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// The client-side auto-adaptation mechanism. See the module docs
+/// above and [`SmartProxyBuilder`].
+#[derive(Clone)]
+pub struct SmartProxy {
+    inner: Arc<SpInner>,
+}
+
+impl std::fmt::Debug for SmartProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartProxy")
+            .field("service_type", &self.inner.service_type)
+            .field("constraint", &self.inner.constraint)
+            .field("bound_to", &self.current_target().map(|r| r.to_uri()))
+            .field("pending_events", &self.pending_events())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`SmartProxy`]; obtained from
+/// [`SmartProxy::builder`] or `Infrastructure::smart_proxy`.
+pub struct SmartProxyBuilder {
+    orb: Orb,
+    repo: InterfaceRepository,
+    trader: Arc<dyn TradingService>,
+    service_type: String,
+    constraint: String,
+    preference: String,
+    fallback_on_empty: bool,
+    immediate_handling: bool,
+    lazy: bool,
+    subscriptions: Vec<Subscription>,
+    native_strategies: Vec<(String, Strategy)>,
+    script_strategies: Vec<(String, String)>,
+}
+
+impl SmartProxyBuilder {
+    /// Sets the primary selection constraint.
+    pub fn constraint(mut self, c: impl Into<String>) -> Self {
+        self.constraint = c.into();
+        self
+    }
+
+    /// Sets the offer-ordering preference.
+    pub fn preference(mut self, p: impl Into<String>) -> Self {
+        self.preference = p.into();
+        self
+    }
+
+    /// Disables the paper's relaxed fallback query (sort-only, no
+    /// filtering) when the primary query matches nothing.
+    pub fn no_fallback(mut self) -> Self {
+        self.fallback_on_empty = false;
+        self
+    }
+
+    /// Handle events at notification time instead of postponing to the
+    /// next invocation (the ablation of experiment E6).
+    pub fn immediate_handling(mut self) -> Self {
+        self.immediate_handling = true;
+        self
+    }
+
+    /// Skip the initial selection; the first invocation will select.
+    pub fn lazy(mut self) -> Self {
+        self.lazy = true;
+        self
+    }
+
+    /// Adds a monitor subscription (re-established on every rebind).
+    pub fn subscribe(mut self, subscription: Subscription) -> Self {
+        self.subscriptions.push(subscription);
+        self
+    }
+
+    /// Registers a native strategy for an event.
+    pub fn strategy_native(
+        mut self,
+        event: impl Into<String>,
+        f: impl Fn(&SmartProxy, &str) + Send + Sync + 'static,
+    ) -> Self {
+        self.native_strategies
+            .push((event.into(), Strategy::Native(Arc::new(f))));
+        self
+    }
+
+    /// Registers a script strategy (`function(self, event) … end`).
+    pub fn strategy_script(mut self, event: impl Into<String>, code: impl Into<String>) -> Self {
+        self.script_strategies.push((event.into(), code.into()));
+        self
+    }
+
+    /// Builds the proxy; unless [`lazy`](Self::lazy), performs the
+    /// initial component selection.
+    ///
+    /// # Errors
+    ///
+    /// Trading/broker errors, script compilation errors, or
+    /// [`CoreError::NoSuitableOffer`] when nothing is available.
+    pub fn build(self) -> Result<SmartProxy> {
+        let inner = Arc::new(SpInner {
+            orb: self.orb,
+            repo: self.repo,
+            trader: self.trader,
+            service_type: self.service_type,
+            constraint: self.constraint,
+            preference: self.preference,
+            fallback_on_empty: self.fallback_on_empty,
+            immediate_handling: self.immediate_handling,
+            subscriptions: self.subscriptions,
+            strategies: Mutex::new(HashMap::new()),
+            binding: Mutex::new(None),
+            events: Mutex::new(VecDeque::new()),
+            observer_ref: OnceLock::new(),
+            observer_key: Mutex::new(String::new()),
+            actor: Mutex::new(None),
+            facade: OnceLock::new(),
+            invocations: AtomicU64::new(0),
+            rebinds: AtomicU64::new(0),
+            events_received: AtomicU64::new(0),
+            events_handled: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+        });
+        let proxy = SmartProxy { inner };
+
+        // The proxy's EventObserver servant (Figure 2's callback
+        // interface): notifications enqueue, or handle immediately.
+        let weak = Arc::downgrade(&proxy.inner);
+        let observer = ServantFn::new("EventObserver", move |op, args| {
+            if op != "notifyEvent" {
+                return Err(OrbError::unknown_operation("EventObserver", op));
+            }
+            let event = args
+                .first()
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_owned();
+            if let Some(inner) = weak.upgrade() {
+                inner.events_received.fetch_add(1, Ordering::Relaxed);
+                let proxy = SmartProxy { inner };
+                if proxy.inner.immediate_handling {
+                    proxy.handle_event(&event);
+                } else {
+                    proxy.inner.events.lock().push_back(event);
+                }
+            }
+            Ok(Value::Null)
+        });
+        let objref = proxy.inner.orb.activate_auto(observer);
+        *proxy.inner.observer_key.lock() = objref.key.clone();
+        proxy
+            .inner
+            .observer_ref
+            .set(objref)
+            .expect("observer ref set once");
+
+        for (event, strategy) in self.native_strategies {
+            proxy.inner.strategies.lock().insert(event, strategy);
+        }
+        for (event, code) in self.script_strategies {
+            proxy.set_strategy_script(&event, &code)?;
+        }
+
+        if !self.lazy && !proxy.select_with(&proxy.inner.constraint.clone(), true)? {
+            return Err(CoreError::NoSuitableOffer {
+                service_type: proxy.inner.service_type.clone(),
+            });
+        }
+        Ok(proxy)
+    }
+}
+
+impl SmartProxy {
+    /// Starts building a smart proxy against an explicit orb, interface
+    /// repository and trading service.
+    pub fn builder(
+        orb: &Orb,
+        repo: &InterfaceRepository,
+        trader: Arc<dyn TradingService>,
+        service_type: impl Into<String>,
+    ) -> SmartProxyBuilder {
+        SmartProxyBuilder {
+            orb: orb.clone(),
+            repo: repo.clone(),
+            trader,
+            service_type: service_type.into(),
+            constraint: String::new(),
+            preference: String::new(),
+            fallback_on_empty: true,
+            immediate_handling: false,
+            lazy: false,
+            subscriptions: Vec::new(),
+            native_strategies: Vec::new(),
+            script_strategies: Vec::new(),
+        }
+    }
+
+    /// The represented service type.
+    pub fn service_type(&self) -> &str {
+        &self.inner.service_type
+    }
+
+    /// The currently bound component, if any.
+    pub fn current_target(&self) -> Option<ObjRef> {
+        self.inner.binding.lock().as_ref().map(|b| b.target.clone())
+    }
+
+    /// The offer behind the current binding, if any.
+    pub fn current_offer(&self) -> Option<OfferMatch> {
+        self.inner.binding.lock().as_ref().map(|b| b.offer.clone())
+    }
+
+    /// The proxy's observer reference (scripts see it as `_observer`).
+    pub fn observer_ref(&self) -> ObjRef {
+        self.inner
+            .observer_ref
+            .get()
+            .expect("observer activated at build")
+            .clone()
+    }
+
+    /// Number of events waiting for postponed handling.
+    pub fn pending_events(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// Functional invocations made through this proxy.
+    pub fn invocations(&self) -> u64 {
+        self.inner.invocations.load(Ordering::Relaxed)
+    }
+
+    /// Times the proxy switched components.
+    pub fn rebinds(&self) -> u64 {
+        self.inner.rebinds.load(Ordering::Relaxed)
+    }
+
+    /// Notifications received from monitors.
+    pub fn events_received(&self) -> u64 {
+        self.inner.events_received.load(Ordering::Relaxed)
+    }
+
+    /// Events whose strategy ran.
+    pub fn events_handled(&self) -> u64 {
+        self.inner.events_handled.load(Ordering::Relaxed)
+    }
+
+    /// Invocation-time failovers after a component failure.
+    pub fn failovers(&self) -> u64 {
+        self.inner.failovers.load(Ordering::Relaxed)
+    }
+
+    // ---- strategies ------------------------------------------------------
+
+    /// Registers (or replaces) a strategy for an event.
+    pub fn set_strategy(&self, event: impl Into<String>, strategy: Strategy) {
+        self.inner.strategies.lock().insert(event.into(), strategy);
+    }
+
+    /// Registers a native strategy.
+    pub fn set_strategy_native(
+        &self,
+        event: impl Into<String>,
+        f: impl Fn(&SmartProxy, &str) + Send + Sync + 'static,
+    ) {
+        self.set_strategy(event, Strategy::Native(Arc::new(f)));
+    }
+
+    /// Compiles and registers a script strategy
+    /// (`function(self, event) … end`). Because strategies are
+    /// interpreted, they can be replaced at any time without stopping
+    /// the application.
+    ///
+    /// # Errors
+    ///
+    /// Script compilation errors.
+    pub fn set_strategy_script(&self, event: &str, code: &str) -> Result<()> {
+        let actor = self.actor();
+        let handle = actor.store_function(code)?;
+        self.set_strategy(event, Strategy::Script(handle));
+        Ok(())
+    }
+
+    /// Runs a configuration script that assigns the proxy's strategies
+    /// table, Figure-7 style: the script sees the global `smartproxy`
+    /// (the proxy facade) and typically ends with
+    /// `smartproxy._strategies = { EventName = function(self) … end }`.
+    ///
+    /// # Errors
+    ///
+    /// Script errors.
+    pub fn install_strategies_script(&self, source: &str) -> Result<()> {
+        let actor = self.actor();
+        let facade = self.facade_handle(&actor)?;
+        let source = source.to_owned();
+        let events: Vec<(String, FuncHandle)> =
+            actor.with(
+                move |interp| -> std::result::Result<
+                    Vec<(String, FuncHandle)>,
+                    adapta_bridge::ActorError,
+                > {
+                    let facade_table = ScriptActor::stored_get(interp, facade)
+                        .ok_or(adapta_bridge::ActorError::UnknownFunction(0))?;
+                    interp.set_global("smartproxy", facade_table.clone());
+                    interp.eval(&source)?;
+                    // Read back the `_strategies` table.
+                    let strategies = facade_table
+                        .as_table()
+                        .map(|t| t.borrow().get_str("_strategies"))
+                        .unwrap_or(adapta_script::Value::Nil);
+                    let mut out = Vec::new();
+                    if let Some(t) = strategies.as_table() {
+                        let entries: Vec<_> = t.borrow().iter().collect();
+                        for (k, v) in entries {
+                            if let (Some(event), adapta_script::Value::Function(_)) =
+                                (k.as_str().map(str::to_owned), &v)
+                            {
+                                out.push((event, ScriptActor::stored_put(interp, v.clone())));
+                            }
+                        }
+                    }
+                    Ok(out)
+                },
+            )??;
+        if events.is_empty() {
+            return Err(CoreError::Script(
+                "strategies script did not define smartproxy._strategies".into(),
+            ));
+        }
+        let mut strategies = self.inner.strategies.lock();
+        for (event, handle) in events {
+            strategies.insert(event, Strategy::Script(handle));
+        }
+        Ok(())
+    }
+
+    /// The proxy's script actor (created on first use).
+    pub fn actor(&self) -> ScriptActor {
+        let mut guard = self.inner.actor.lock();
+        if guard.is_none() {
+            let name = format!("sp-{}", self.inner.service_type);
+            *guard = Some(ScriptActor::spawn(&name, |_| {}));
+        }
+        guard.clone().expect("just set")
+    }
+
+    /// The persistent facade table handle (created on first use).
+    fn facade_handle(&self, actor: &ScriptActor) -> Result<FuncHandle> {
+        if let Some(h) = self.inner.facade.get() {
+            return Ok(*h);
+        }
+        let proxy = self.clone();
+        let handle = actor.with(move |interp| build_facade(interp, &proxy))?;
+        let _ = self.inner.facade.set(handle);
+        Ok(*self.inner.facade.get().expect("just set"))
+    }
+
+    // ---- selection -------------------------------------------------------
+
+    /// Re-runs the primary query (no fallback); rebinds on a match.
+    ///
+    /// # Errors
+    ///
+    /// Trading errors.
+    pub fn reselect(&self) -> Result<bool> {
+        self.select_with(&self.inner.constraint.clone(), false)
+    }
+
+    /// Runs a query with an explicit constraint; rebinds on a match.
+    /// With `fallback`, an empty result triggers the paper's relaxed
+    /// query (preference only, no filtering).
+    ///
+    /// # Errors
+    ///
+    /// Trading errors.
+    pub fn select_with(&self, constraint: &str, fallback: bool) -> Result<bool> {
+        self.select_excluding(constraint, fallback, None)
+    }
+
+    /// Like [`select_with`](Self::select_with), skipping offers whose
+    /// target is `exclude` (used after a component failure so the
+    /// failover does not rebind the dead server, whose stale offer may
+    /// still be registered).
+    ///
+    /// # Errors
+    ///
+    /// Trading errors.
+    pub fn select_excluding(
+        &self,
+        constraint: &str,
+        fallback: bool,
+        exclude: Option<&ObjRef>,
+    ) -> Result<bool> {
+        let filter = |matches: Vec<OfferMatch>| -> Vec<OfferMatch> {
+            match exclude {
+                Some(dead) => matches.into_iter().filter(|m| m.target != *dead).collect(),
+                None => matches,
+            }
+        };
+        let q = Query::new(&self.inner.service_type)
+            .constraint(constraint)
+            .preference(&self.inner.preference);
+        let mut matches = filter(self.inner.trader.query(&q)?);
+        if matches.is_empty() && fallback && self.inner.fallback_on_empty {
+            let relaxed = Query::new(&self.inner.service_type).preference(&self.inner.preference);
+            matches = filter(self.inner.trader.query(&relaxed)?);
+        }
+        if matches.is_empty() {
+            return Ok(false);
+        }
+        self.bind(matches.swap_remove(0));
+        Ok(true)
+    }
+
+    /// Drops the current binding (the next invocation selects afresh).
+    pub fn unbind(&self) {
+        let old = self.inner.binding.lock().take();
+        if let Some(binding) = old {
+            self.detach(&binding);
+        }
+    }
+
+    fn detach(&self, binding: &Binding) {
+        for (monitor, observer_id) in &binding.attachments {
+            let _ = self.inner.orb.invoke_ref(
+                monitor,
+                "detachEventObserver",
+                vec![Value::Long(*observer_id)],
+            );
+        }
+    }
+
+    fn bind(&self, offer: OfferMatch) {
+        let observer = self.observer_ref();
+        let mut attachments = Vec::new();
+        for sub in &self.inner.subscriptions {
+            let Some(monitor) = offer.dynamic_ref(&sub.property) else {
+                continue;
+            };
+            match self.inner.orb.invoke_ref(
+                monitor,
+                "attachEventObserver",
+                vec![
+                    Value::ObjRef(observer.clone()),
+                    Value::from(sub.event_id.as_str()),
+                    Value::from(sub.predicate.as_str()),
+                ],
+            ) {
+                Ok(Value::Long(id)) => attachments.push((monitor.clone(), id)),
+                _ => {
+                    // Monitor unreachable: proceed without this
+                    // subscription (the offer itself is still usable).
+                }
+            }
+        }
+        let new_binding = Binding {
+            target: offer.target.clone(),
+            offer,
+            attachments,
+        };
+        let old = {
+            let mut slot = self.inner.binding.lock();
+            let changed = slot
+                .as_ref()
+                .map(|b| b.target != new_binding.target)
+                .unwrap_or(true);
+            if changed {
+                self.inner.rebinds.fetch_add(1, Ordering::Relaxed);
+            }
+            slot.replace(new_binding)
+        };
+        if let Some(old) = old {
+            self.detach(&old);
+        }
+    }
+
+    // ---- events ----------------------------------------------------------
+
+    /// Handles all queued events now (normally done automatically
+    /// before each invocation; public for explicit activation).
+    ///
+    /// Duplicate event ids queued since the last invocation are
+    /// coalesced: a burst of identical `LoadIncrease` notifications
+    /// runs its strategy once, not once per notification.
+    pub fn handle_pending_events(&self) {
+        let drained: Vec<String> = self.inner.events.lock().drain(..).collect();
+        let mut seen = std::collections::HashSet::new();
+        for event in drained {
+            if seen.insert(event.clone()) {
+                self.handle_event(&event);
+            }
+        }
+    }
+
+    /// Applies the strategy for `event` immediately (on-demand
+    /// adaptation, independent of notifications).
+    pub fn adapt_now(&self, event: &str) {
+        self.handle_event(event);
+    }
+
+    fn handle_event(&self, event: &str) {
+        self.inner.events_handled.fetch_add(1, Ordering::Relaxed);
+        enum Plan {
+            Reselect,
+            Native(NativeStrategy),
+            Script(FuncHandle),
+        }
+        let plan = {
+            let strategies = self.inner.strategies.lock();
+            match strategies.get(event) {
+                None | Some(Strategy::Reselect) => Plan::Reselect,
+                Some(Strategy::Native(f)) => Plan::Native(f.clone()),
+                Some(Strategy::Script(h)) => Plan::Script(*h),
+            }
+        };
+        match plan {
+            Plan::Reselect => {
+                let _ = self.reselect();
+            }
+            Plan::Native(f) => f(self, event),
+            Plan::Script(handle) => {
+                let actor = self.actor();
+                let Ok(facade) = self.facade_handle(&actor) else {
+                    return;
+                };
+                let proxy = self.clone();
+                let event = event.to_owned();
+                let _ = actor.call_with(handle, move |interp| {
+                    let table = ScriptActor::stored_get(interp, facade)
+                        .unwrap_or(adapta_script::Value::Nil);
+                    refresh_facade(interp, &proxy, &table);
+                    vec![table, adapta_script::Value::str(event)]
+                });
+            }
+        }
+    }
+
+    // ---- invocation ------------------------------------------------------
+
+    /// Invokes an operation on the represented service.
+    ///
+    /// Queued events are handled first (postponed handling); if the
+    /// bound component fails at the transport level, the proxy rebinds
+    /// and retries once.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unbound`] when no component can be selected;
+    /// otherwise broker/servant errors.
+    pub fn invoke(&self, op: &str, args: Vec<Value>) -> Result<Value> {
+        self.inner.invocations.fetch_add(1, Ordering::Relaxed);
+        self.handle_pending_events();
+        let target = self.ensure_bound()?;
+        match self.inner.orb.invoke_ref(&target, op, args.clone()) {
+            Ok(v) => Ok(v),
+            Err(e) if is_connectivity_error(&e) => {
+                self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+                self.unbind();
+                if !self.select_excluding(&self.inner.constraint.clone(), true, Some(&target))? {
+                    return Err(CoreError::Unbound(format!(
+                        "component failed and no replacement for `{}`: {e}",
+                        self.inner.service_type
+                    )));
+                }
+                let target = self
+                    .current_target()
+                    .expect("select_excluding bound a component");
+                Ok(self.inner.orb.invoke_ref(&target, op, args)?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Invokes a oneway operation on the represented service.
+    ///
+    /// # Errors
+    ///
+    /// As [`invoke`](Self::invoke), without failover retry semantics
+    /// beyond selection.
+    pub fn invoke_oneway(&self, op: &str, args: Vec<Value>) -> Result<()> {
+        self.inner.invocations.fetch_add(1, Ordering::Relaxed);
+        self.handle_pending_events();
+        let target = self.ensure_bound()?;
+        Ok(self.inner.orb.invoke_oneway_ref(&target, op, args)?)
+    }
+
+    fn ensure_bound(&self) -> Result<ObjRef> {
+        if let Some(target) = self.current_target() {
+            return Ok(target);
+        }
+        if self.select_with(&self.inner.constraint.clone(), true)? {
+            return Ok(self
+                .current_target()
+                .expect("select_with(true) bound a component"));
+        }
+        Err(CoreError::Unbound(format!(
+            "no component for `{}`",
+            self.inner.service_type
+        )))
+    }
+}
+
+fn is_connectivity_error(e: &OrbError) -> bool {
+    matches!(
+        e,
+        OrbError::Transport(_) | OrbError::NodeUnreachable { .. } | OrbError::ObjectNotFound { .. }
+    )
+}
+
+// ---- script facade ---------------------------------------------------------
+
+/// Builds the persistent script facade table for a proxy.
+fn build_facade(interp: &mut adapta_script::Interpreter, proxy: &SmartProxy) -> FuncHandle {
+    let table = adapta_script::Value::table();
+    if let Some(t) = table.as_table() {
+        // _select(self, query) -> bool
+        let p = proxy.clone();
+        t.borrow_mut().set_str(
+            "_select",
+            adapta_script::Interpreter::native("_select", move |interp, args| {
+                let query = args
+                    .get(1)
+                    .and_then(|v| v.as_str().map(str::to_owned))
+                    .unwrap_or_default();
+                let ok = p.select_with(&query, false).unwrap_or(false);
+                if ok {
+                    // Rebinding changed the monitors: refresh the facade
+                    // the strategy is holding.
+                    if let Some(self_table) = args.first() {
+                        refresh_facade(interp, &p, self_table);
+                    }
+                }
+                Ok(vec![adapta_script::Value::Bool(ok)])
+            }),
+        );
+        // _reselect(self) -> bool (primary constraint)
+        let p = proxy.clone();
+        t.borrow_mut().set_str(
+            "_reselect",
+            adapta_script::Interpreter::native("_reselect", move |interp, args| {
+                let ok = p.reselect().unwrap_or(false);
+                if ok {
+                    if let Some(self_table) = args.first() {
+                        refresh_facade(interp, &p, self_table);
+                    }
+                }
+                Ok(vec![adapta_script::Value::Bool(ok)])
+            }),
+        );
+        t.borrow_mut().set_str(
+            "_observer",
+            adapta_bridge::from_wire(&Value::ObjRef(proxy.observer_ref())),
+        );
+        t.borrow_mut().set_str(
+            "_service_type",
+            adapta_script::Value::str(proxy.service_type()),
+        );
+    }
+    refresh_facade(interp, proxy, &table);
+    ScriptActor::stored_put(interp, table)
+}
+
+/// Updates the binding-dependent facade fields: `_target`, `_monitors`
+/// (property name → monitor proxy table) and `_loadavgmon` (the
+/// `LoadAvg` monitor, so Figure 7 runs verbatim).
+fn refresh_facade(
+    interp: &mut adapta_script::Interpreter,
+    proxy: &SmartProxy,
+    facade: &adapta_script::Value,
+) {
+    let Some(t) = facade.as_table() else { return };
+    let Some(offer) = proxy.current_offer() else {
+        return;
+    };
+    let _ = interp; // proxy tables need no interpreter context today
+    t.borrow_mut()
+        .set_str("_target", adapta_script::Value::str(offer.target.to_uri()));
+    let monitors = adapta_script::Value::table();
+    if let Some(mt) = monitors.as_table() {
+        for (name, monitor_ref) in &offer.dynamic {
+            let table = script_env::proxy_table(&proxy.inner.orb, &proxy.inner.repo, monitor_ref);
+            mt.borrow_mut().set_str(name, table.clone());
+            if name == "LoadAvg" {
+                t.borrow_mut().set_str("_loadavgmon", table);
+            }
+        }
+    }
+    t.borrow_mut().set_str("_monitors", monitors);
+}

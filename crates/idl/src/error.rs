@@ -1,0 +1,98 @@
+//! Error type shared by the IDL parser, repository and type checks.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdlError {
+    /// The IDL source failed to parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A value did not match the expected type code.
+    TypeMismatch {
+        /// What the interface demanded.
+        expected: String,
+        /// What was supplied.
+        found: String,
+    },
+    /// An interface name was not found in the repository.
+    UnknownInterface(String),
+    /// An operation is not declared by an interface (or its bases).
+    UnknownOperation {
+        /// The interface searched.
+        interface: String,
+        /// The missing operation.
+        operation: String,
+    },
+    /// A definition with this name already exists.
+    Duplicate(String),
+    /// An operation was invoked with the wrong number of arguments.
+    ArityMismatch {
+        /// The operation name.
+        operation: String,
+        /// Parameters declared.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for IdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdlError::Parse { line, message } => {
+                write!(f, "idl parse error at line {line}: {message}")
+            }
+            IdlError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            IdlError::UnknownInterface(name) => write!(f, "unknown interface `{name}`"),
+            IdlError::UnknownOperation {
+                interface,
+                operation,
+            } => write!(f, "interface `{interface}` has no operation `{operation}`"),
+            IdlError::Duplicate(name) => write!(f, "duplicate definition of `{name}`"),
+            IdlError::ArityMismatch {
+                operation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "operation `{operation}` takes {expected} argument(s), {found} supplied"
+            ),
+        }
+    }
+}
+
+impl Error for IdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = IdlError::Parse {
+            line: 3,
+            message: "expected `;`".into(),
+        };
+        assert_eq!(e.to_string(), "idl parse error at line 3: expected `;`");
+        let e = IdlError::UnknownOperation {
+            interface: "EventMonitor".into(),
+            operation: "frob".into(),
+        };
+        assert!(e.to_string().contains("EventMonitor"));
+        assert!(e.to_string().contains("frob"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<IdlError>();
+    }
+}

@@ -1,0 +1,354 @@
+//! Run-time interface descriptions — the Interface Repository analogue.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::error::IdlError;
+use crate::typecode::TypeCode;
+use crate::value::Value;
+use crate::Result;
+
+/// A declared operation parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub type_code: TypeCode,
+}
+
+impl ParamDef {
+    /// Creates a parameter definition.
+    pub fn new(name: impl Into<String>, type_code: TypeCode) -> Self {
+        ParamDef {
+            name: name.into(),
+            type_code,
+        }
+    }
+}
+
+/// A declared operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDef {
+    /// Operation name.
+    pub name: String,
+    /// Declared parameters, in order.
+    pub params: Vec<ParamDef>,
+    /// Result type ([`TypeCode::Void`] for `void`).
+    pub result: TypeCode,
+    /// True for `oneway` operations: fire-and-forget, no reply.
+    pub oneway: bool,
+}
+
+impl OperationDef {
+    /// Creates a two-way operation definition.
+    pub fn new(name: impl Into<String>, params: Vec<ParamDef>, result: TypeCode) -> Self {
+        OperationDef {
+            name: name.into(),
+            params,
+            result,
+            oneway: false,
+        }
+    }
+
+    /// Creates a `oneway void` operation definition.
+    pub fn oneway(name: impl Into<String>, params: Vec<ParamDef>) -> Self {
+        OperationDef {
+            name: name.into(),
+            params,
+            result: TypeCode::Void,
+            oneway: true,
+        }
+    }
+
+    /// Checks an argument list against the declared parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdlError::ArityMismatch`] or [`IdlError::TypeMismatch`].
+    pub fn check_args(&self, args: &[Value]) -> Result<()> {
+        if args.len() != self.params.len() {
+            return Err(IdlError::ArityMismatch {
+                operation: self.name.clone(),
+                expected: self.params.len(),
+                found: args.len(),
+            });
+        }
+        for (param, arg) in self.params.iter().zip(args) {
+            if !param.type_code.accepts(arg) {
+                return Err(IdlError::TypeMismatch {
+                    expected: format!("{} for parameter `{}`", param.type_code, param.name),
+                    found: arg.kind().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A declared interface: a name, optional bases, and operations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InterfaceDef {
+    /// Interface name (doubles as the repository id).
+    pub name: String,
+    /// Names of directly inherited interfaces.
+    pub bases: Vec<String>,
+    /// Operations declared directly on this interface.
+    pub operations: Vec<OperationDef>,
+}
+
+impl InterfaceDef {
+    /// Creates an interface with no bases.
+    pub fn new(name: impl Into<String>) -> Self {
+        InterfaceDef {
+            name: name.into(),
+            bases: Vec::new(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Adds a base interface; returns `self` for chaining.
+    pub fn inherits(mut self, base: impl Into<String>) -> Self {
+        self.bases.push(base.into());
+        self
+    }
+
+    /// Adds an operation; returns `self` for chaining.
+    pub fn with_operation(mut self, op: OperationDef) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Finds an operation declared *directly* on this interface.
+    pub fn operation(&self, name: &str) -> Option<&OperationDef> {
+        self.operations.iter().find(|op| op.name == name)
+    }
+}
+
+/// A registry of interface definitions shared across a process.
+///
+/// The repository is what makes fully dynamic invocation safe: given only
+/// an interface *name* obtained at run time (e.g. from a trading offer), a
+/// client can discover operations and have its argument lists validated —
+/// the paper's "identification of new service types and the integration
+/// of their instances into a dynamically assembled application".
+///
+/// ```
+/// use adapta_idl::{InterfaceDef, InterfaceRepository, OperationDef, TypeCode};
+///
+/// let repo = InterfaceRepository::new();
+/// repo.register(
+///     InterfaceDef::new("Hello")
+///         .with_operation(OperationDef::new("hello", vec![], TypeCode::Str)),
+/// ).unwrap();
+/// assert!(repo.lookup_operation("Hello", "hello").is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InterfaceRepository {
+    inner: Arc<Mutex<HashMap<String, Arc<InterfaceDef>>>>,
+}
+
+impl InterfaceRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        InterfaceRepository {
+            inner: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<InterfaceDef>>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers an interface definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdlError::Duplicate`] if the name is taken, or
+    /// [`IdlError::UnknownInterface`] if a base is not registered.
+    pub fn register(&self, def: InterfaceDef) -> Result<()> {
+        let mut map = self.lock();
+        for base in &def.bases {
+            if !map.contains_key(base) {
+                return Err(IdlError::UnknownInterface(base.clone()));
+            }
+        }
+        if map.contains_key(&def.name) {
+            return Err(IdlError::Duplicate(def.name));
+        }
+        map.insert(def.name.clone(), Arc::new(def));
+        Ok(())
+    }
+
+    /// Registers every interface parsed from `defs` (used with
+    /// [`parse_idl`](crate::parse_idl)).
+    pub fn register_all(&self, defs: impl IntoIterator<Item = InterfaceDef>) -> Result<()> {
+        for def in defs {
+            self.register(def)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up an interface by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdlError::UnknownInterface`] when absent.
+    pub fn lookup(&self, name: &str) -> Result<Arc<InterfaceDef>> {
+        self.lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IdlError::UnknownInterface(name.to_owned()))
+    }
+
+    /// True if the interface is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.lock().contains_key(name)
+    }
+
+    /// Names of all registered interfaces (unspecified order).
+    pub fn interface_names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Finds `operation` on `interface`, searching inherited interfaces
+    /// depth-first (the CORBA `_is_a`-style walk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdlError::UnknownInterface`] or
+    /// [`IdlError::UnknownOperation`].
+    pub fn lookup_operation(&self, interface: &str, operation: &str) -> Result<OperationDef> {
+        let def = self.lookup(interface)?;
+        if let Some(op) = def.operation(operation) {
+            return Ok(op.clone());
+        }
+        for base in &def.bases {
+            if let Ok(op) = self.lookup_operation(base, operation) {
+                return Ok(op);
+            }
+        }
+        Err(IdlError::UnknownOperation {
+            interface: interface.to_owned(),
+            operation: operation.to_owned(),
+        })
+    }
+
+    /// True if `derived` equals `base` or (transitively) inherits it.
+    pub fn is_a(&self, derived: &str, base: &str) -> bool {
+        if derived == base {
+            return true;
+        }
+        match self.lookup(derived) {
+            Ok(def) => def.bases.iter().any(|b| self.is_a(b, base)),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_with_monitors() -> InterfaceRepository {
+        let repo = InterfaceRepository::new();
+        repo.register(
+            InterfaceDef::new("BasicMonitor")
+                .with_operation(OperationDef::new("getValue", vec![], TypeCode::Any))
+                .with_operation(OperationDef::new(
+                    "setValue",
+                    vec![ParamDef::new("v", TypeCode::Any)],
+                    TypeCode::Void,
+                )),
+        )
+        .unwrap();
+        repo.register(
+            InterfaceDef::new("EventMonitor")
+                .inherits("BasicMonitor")
+                .with_operation(OperationDef::new(
+                    "attachEventObserver",
+                    vec![
+                        ParamDef::new("obj", TypeCode::Object(String::new())),
+                        ParamDef::new("evid", TypeCode::Str),
+                        ParamDef::new("notifyf", TypeCode::Str),
+                    ],
+                    TypeCode::Long,
+                )),
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn inherited_operations_are_found() {
+        let repo = repo_with_monitors();
+        let op = repo.lookup_operation("EventMonitor", "getValue").unwrap();
+        assert_eq!(op.name, "getValue");
+        assert!(repo.lookup_operation("EventMonitor", "missing").is_err());
+    }
+
+    #[test]
+    fn is_a_walks_inheritance() {
+        let repo = repo_with_monitors();
+        assert!(repo.is_a("EventMonitor", "BasicMonitor"));
+        assert!(repo.is_a("EventMonitor", "EventMonitor"));
+        assert!(!repo.is_a("BasicMonitor", "EventMonitor"));
+        assert!(!repo.is_a("Nope", "BasicMonitor"));
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let repo = repo_with_monitors();
+        let err = repo
+            .register(InterfaceDef::new("BasicMonitor"))
+            .unwrap_err();
+        assert_eq!(err, IdlError::Duplicate("BasicMonitor".into()));
+    }
+
+    #[test]
+    fn unknown_base_is_rejected() {
+        let repo = InterfaceRepository::new();
+        let err = repo
+            .register(InterfaceDef::new("X").inherits("Missing"))
+            .unwrap_err();
+        assert_eq!(err, IdlError::UnknownInterface("Missing".into()));
+    }
+
+    #[test]
+    fn check_args_validates_arity_and_types() {
+        let op = OperationDef::new(
+            "f",
+            vec![
+                ParamDef::new("s", TypeCode::Str),
+                ParamDef::new("n", TypeCode::Double),
+            ],
+            TypeCode::Void,
+        );
+        assert!(op
+            .check_args(&[Value::from("x"), Value::from(1i64)])
+            .is_ok());
+        assert!(matches!(
+            op.check_args(&[Value::from("x")]),
+            Err(IdlError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            op.check_args(&[Value::from(1i64), Value::from(1i64)]),
+            Err(IdlError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn repository_clones_share_state() {
+        let repo = InterfaceRepository::new();
+        let view = repo.clone();
+        repo.register(InterfaceDef::new("T")).unwrap();
+        assert!(view.contains("T"));
+    }
+
+    #[test]
+    fn oneway_constructor_sets_flag() {
+        let op = OperationDef::oneway("notifyEvent", vec![ParamDef::new("e", TypeCode::Str)]);
+        assert!(op.oneway);
+        assert_eq!(op.result, TypeCode::Void);
+    }
+}

@@ -1,0 +1,32 @@
+//! Type system for the `adapta` object broker.
+//!
+//! This crate plays the role CORBA's IDL, `Any` and Interface Repository
+//! play in the paper:
+//!
+//! * [`Value`] — a self-describing wire value (the `Any` analogue). The
+//!   whole stack is dynamically typed end-to-end, exactly as LuaCorba
+//!   uses the DII/DSI: arguments and results are `Value`s, mapped to and
+//!   from the scripting language at the edges.
+//! * [`TypeCode`] — structural types used for interface checking and
+//!   trading-property definitions.
+//! * [`InterfaceDef`]/[`InterfaceRepository`] — run-time descriptions of
+//!   interfaces and their operations (the IFR analogue), which is what
+//!   lets clients discover and invoke *new* service types on the fly.
+//! * [`parse_idl`] — a parser for the IDL subset the paper uses in its
+//!   figures (`module`, `interface` with inheritance, `typedef`,
+//!   `struct`, `oneway`, `sequence<>`).
+
+mod error;
+mod interface;
+mod parser;
+mod typecode;
+mod value;
+
+pub use error::IdlError;
+pub use interface::{InterfaceDef, InterfaceRepository, OperationDef, ParamDef};
+pub use parser::parse_idl;
+pub use typecode::TypeCode;
+pub use value::{ObjRefData, Value};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IdlError>;

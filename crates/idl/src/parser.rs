@@ -1,0 +1,568 @@
+//! A parser for the IDL subset used by the paper's figures.
+//!
+//! Supported constructs: `module` (namespacing is flattened — interface
+//! names in the paper are used unqualified), `typedef`, `struct`,
+//! `interface` with inheritance, `oneway` operations, `readonly
+//! attribute` (mapped to a getter operation), parameter modes
+//! (`in`/`out`/`inout` — parsed, semantically all `in`), and the types
+//! `void`, `boolean`, `short`, `long`, `unsigned long`, `float`,
+//! `double`, `string`, `any`, `Object`, `octet`, and `sequence<T>`.
+//!
+//! Unknown type identifiers (the paper freely uses undeclared names such
+//! as `PropertyValue` or `LuaCode`) resolve to [`TypeCode::Any`], so the
+//! figures parse verbatim; declared typedefs, structs and interfaces
+//! resolve precisely.
+
+use std::collections::HashMap;
+
+use crate::error::IdlError;
+use crate::interface::{InterfaceDef, OperationDef, ParamDef};
+use crate::typecode::TypeCode;
+use crate::Result;
+
+/// Parses IDL source into interface definitions.
+///
+/// # Errors
+///
+/// Returns [`IdlError::Parse`] with a line number on malformed input.
+///
+/// ```
+/// use adapta_idl::parse_idl;
+///
+/// let defs = parse_idl(r#"
+///     interface EventObserver {
+///         oneway void notifyEvent(in EventID evid);
+///     };
+/// "#).unwrap();
+/// assert_eq!(defs[0].name, "EventObserver");
+/// assert!(defs[0].operations[0].oneway);
+/// ```
+pub fn parse_idl(source: &str) -> Result<Vec<InterfaceDef>> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        typedefs: HashMap::new(),
+        structs: HashMap::new(),
+        interfaces: Vec::new(),
+    };
+    parser.parse_unit()?;
+    Ok(parser.interfaces)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        loop {
+                            match chars.next() {
+                                Some('\n') => {
+                                    line += 1;
+                                    prev = '\n';
+                                }
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => {
+                                    return Err(IdlError::Parse {
+                                        line,
+                                        message: "unterminated comment".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(IdlError::Parse {
+                            line,
+                            message: "unexpected `/`".into(),
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            '{' | '}' | '(' | ')' | ';' | ',' | ':' | '<' | '>' => {
+                chars.next();
+                out.push(Spanned {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(IdlError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    typedefs: HashMap<String, TypeCode>,
+    structs: HashMap<String, TypeCode>,
+    interfaces: Vec<InterfaceDef>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> IdlError {
+        IdlError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .map(|s| s.tok.clone())
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(IdlError::Parse {
+                line,
+                message: format!("expected `{c}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(name) => Ok(name),
+            other => Err(IdlError::Parse {
+                line,
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn parse_unit(&mut self) -> Result<()> {
+        while self.peek().is_some() {
+            self.parse_definition()?;
+        }
+        Ok(())
+    }
+
+    fn parse_definition(&mut self) -> Result<()> {
+        if self.eat_ident("module") {
+            let _name = self.expect_ident()?;
+            self.expect_punct('{')?;
+            while !self.eat_punct('}') {
+                self.parse_definition()?;
+            }
+            self.eat_punct(';');
+        } else if self.eat_ident("typedef") {
+            let tc = self.parse_type()?;
+            let name = self.expect_ident()?;
+            self.expect_punct(';')?;
+            self.typedefs.insert(name, tc);
+        } else if self.eat_ident("struct") {
+            let name = self.expect_ident()?;
+            self.expect_punct('{')?;
+            let mut fields = Vec::new();
+            while !self.eat_punct('}') {
+                let tc = self.parse_type()?;
+                let fname = self.expect_ident()?;
+                self.expect_punct(';')?;
+                fields.push((fname, tc));
+            }
+            self.expect_punct(';')?;
+            self.structs.insert(name, TypeCode::Struct(fields));
+        } else if self.eat_ident("interface") {
+            self.parse_interface()?;
+        } else {
+            return Err(self.error("expected `module`, `typedef`, `struct` or `interface`"));
+        }
+        Ok(())
+    }
+
+    fn parse_interface(&mut self) -> Result<()> {
+        let name = self.expect_ident()?;
+        let mut def = InterfaceDef::new(name);
+        if self.eat_punct(':') {
+            loop {
+                def.bases.push(self.expect_ident()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct('{')?;
+        while !self.eat_punct('}') {
+            let op = self.parse_member()?;
+            def.operations.extend(op);
+        }
+        self.expect_punct(';')?;
+        self.interfaces.push(def);
+        Ok(())
+    }
+
+    /// Parses one interface member: an operation or an attribute
+    /// (attributes expand to getter/setter operations).
+    fn parse_member(&mut self) -> Result<Vec<OperationDef>> {
+        let readonly = self.eat_ident("readonly");
+        if self.eat_ident("attribute") {
+            let tc = self.parse_type()?;
+            let name = self.expect_ident()?;
+            self.expect_punct(';')?;
+            let mut ops = vec![OperationDef::new(
+                format!("_get_{name}"),
+                vec![],
+                tc.clone(),
+            )];
+            if !readonly {
+                ops.push(OperationDef::new(
+                    format!("_set_{name}"),
+                    vec![ParamDef::new("value", tc)],
+                    TypeCode::Void,
+                ));
+            }
+            return Ok(ops);
+        }
+        if readonly {
+            return Err(self.error("`readonly` must be followed by `attribute`"));
+        }
+        let oneway = self.eat_ident("oneway");
+        let result = self.parse_type()?;
+        if oneway && result != TypeCode::Void {
+            return Err(self.error("`oneway` operations must return `void`"));
+        }
+        let name = self.expect_ident()?;
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                // Parameter mode; all modes behave as `in` in this ORB.
+                let _ = self.eat_ident("in") || self.eat_ident("out") || self.eat_ident("inout");
+                let tc = self.parse_type()?;
+                let pname = self.expect_ident()?;
+                params.push(ParamDef::new(pname, tc));
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
+            }
+        }
+        self.expect_punct(';')?;
+        let mut op = OperationDef::new(name, params, result);
+        op.oneway = oneway;
+        Ok(vec![op])
+    }
+
+    fn parse_type(&mut self) -> Result<TypeCode> {
+        let name = self.expect_ident()?;
+        Ok(match name.as_str() {
+            "void" => TypeCode::Void,
+            "any" => TypeCode::Any,
+            "boolean" => TypeCode::Boolean,
+            "short" | "long" => {
+                // `long long` is also a long.
+                self.eat_ident("long");
+                TypeCode::Long
+            }
+            "unsigned" => {
+                self.expect_ident()?; // the integer kind
+                self.eat_ident("long");
+                TypeCode::Long
+            }
+            "float" | "double" => TypeCode::Double,
+            "string" => TypeCode::Str,
+            "octet" => TypeCode::Long,
+            "Object" => TypeCode::Object(String::new()),
+            "sequence" => {
+                self.expect_punct('<')?;
+                let inner = self.parse_type()?;
+                self.expect_punct('>')?;
+                TypeCode::Sequence(Box::new(inner))
+            }
+            other => {
+                if let Some(tc) = self.typedefs.get(other) {
+                    tc.clone()
+                } else if let Some(tc) = self.structs.get(other) {
+                    tc.clone()
+                } else if self.interfaces.iter().any(|i| i.name == other) {
+                    TypeCode::Object(other.to_owned())
+                } else {
+                    // Undeclared name (the paper's `PropertyValue` etc.):
+                    // dynamically typed.
+                    TypeCode::Any
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1 of the paper, verbatim.
+    const FIG1: &str = r#"
+        interface AspectsManager {
+            PropertyValue getAspectValue(in AspectName name);
+            AspectList definedAspects();
+            void defineAspect(in AspectName name, in LuaCode updatef);
+        };
+    "#;
+
+    /// Figure 2 of the paper, verbatim (BasicMonitor declared first so
+    /// the base resolves).
+    const FIG2: &str = r#"
+        interface BasicMonitor {
+            any getValue();
+            void setValue(in any v);
+        };
+        interface EventObserver {
+            oneway void notifyEvent(in EventID evid);
+        };
+        interface EventMonitor : BasicMonitor {
+            EventObserverID attachEventObserver(in EventObserver obj,
+                                                in EventID evid,
+                                                in LuaCode notifyf);
+            void detachEventObserver(in EventObserverID id);
+        };
+    "#;
+
+    #[test]
+    fn fig1_parses_verbatim() {
+        let defs = parse_idl(FIG1).unwrap();
+        assert_eq!(defs.len(), 1);
+        let am = &defs[0];
+        assert_eq!(am.name, "AspectsManager");
+        assert_eq!(am.operations.len(), 3);
+        let define = am.operation("defineAspect").unwrap();
+        assert_eq!(define.params.len(), 2);
+        assert_eq!(define.result, TypeCode::Void);
+    }
+
+    #[test]
+    fn fig2_parses_with_inheritance_and_oneway() {
+        let defs = parse_idl(FIG2).unwrap();
+        assert_eq!(defs.len(), 3);
+        let observer = defs.iter().find(|d| d.name == "EventObserver").unwrap();
+        assert!(observer.operation("notifyEvent").unwrap().oneway);
+        let em = defs.iter().find(|d| d.name == "EventMonitor").unwrap();
+        assert_eq!(em.bases, vec!["BasicMonitor".to_owned()]);
+        let attach = em.operation("attachEventObserver").unwrap();
+        // EventObserver resolves to an object type because it was
+        // declared earlier in the unit.
+        assert_eq!(
+            attach.params[0].type_code,
+            TypeCode::Object("EventObserver".into())
+        );
+    }
+
+    #[test]
+    fn modules_flatten_and_typedefs_resolve() {
+        let defs = parse_idl(
+            r#"
+            module LuaMonitor {
+                typedef string LuaCode;
+                typedef sequence<string> AspectList;
+                interface M {
+                    AspectList definedAspects();
+                    void defineAspect(in LuaCode updatef);
+                };
+            };
+        "#,
+        )
+        .unwrap();
+        let m = &defs[0];
+        assert_eq!(
+            m.operation("definedAspects").unwrap().result,
+            TypeCode::Sequence(Box::new(TypeCode::Str))
+        );
+        assert_eq!(
+            m.operation("defineAspect").unwrap().params[0].type_code,
+            TypeCode::Str
+        );
+    }
+
+    #[test]
+    fn structs_become_struct_typecodes() {
+        let defs = parse_idl(
+            r#"
+            struct Sample { double value; string host; };
+            interface S { Sample read(); };
+        "#,
+        )
+        .unwrap();
+        match &defs[0].operation("read").unwrap().result {
+            TypeCode::Struct(fields) => {
+                assert_eq!(fields[0], ("value".into(), TypeCode::Double));
+                assert_eq!(fields[1], ("host".into(), TypeCode::Str));
+            }
+            other => panic!("expected struct, got {other}"),
+        }
+    }
+
+    #[test]
+    fn attributes_expand_to_accessors() {
+        let defs = parse_idl(
+            r#"
+            interface A {
+                readonly attribute double load;
+                attribute string label;
+            };
+        "#,
+        )
+        .unwrap();
+        let a = &defs[0];
+        assert!(a.operation("_get_load").is_some());
+        assert!(a.operation("_set_load").is_none());
+        assert!(a.operation("_get_label").is_some());
+        assert!(a.operation("_set_label").is_some());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let defs =
+            parse_idl("// line comment\ninterface C { /* block\ncomment */ void f(); };").unwrap();
+        assert_eq!(defs[0].operations.len(), 1);
+    }
+
+    #[test]
+    fn numeric_type_spellings() {
+        let defs = parse_idl(
+            r#"
+            interface N {
+                void f(in short a, in long b, in long long c,
+                       in unsigned long d, in float e, in octet g);
+            };
+        "#,
+        )
+        .unwrap();
+        let f = defs[0].operation("f").unwrap();
+        let tcs: Vec<_> = f.params.iter().map(|p| p.type_code.clone()).collect();
+        assert_eq!(
+            tcs,
+            vec![
+                TypeCode::Long,
+                TypeCode::Long,
+                TypeCode::Long,
+                TypeCode::Long,
+                TypeCode::Double,
+                TypeCode::Long
+            ]
+        );
+    }
+
+    #[test]
+    fn oneway_must_return_void() {
+        let err = parse_idl("interface X { oneway long f(); };").unwrap_err();
+        assert!(matches!(err, IdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_idl("interface X {\n  void f(;\n};").unwrap_err();
+        match err {
+            IdlError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(parse_idl("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = parse_idl("interface X @ {};").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn empty_source_parses_to_nothing() {
+        assert_eq!(parse_idl("").unwrap(), Vec::new());
+    }
+}

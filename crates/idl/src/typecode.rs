@@ -1,0 +1,185 @@
+//! Structural type codes.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A structural description of a value's type, used by the interface
+/// repository for argument checking and by the trading service for
+/// property definitions.
+///
+/// `TypeCode` checking is *gradual*: [`TypeCode::Any`] accepts every
+/// value, and `Long` values coerce to `Double` parameters (mirroring the
+/// scripting language's single number type).
+///
+/// ```
+/// use adapta_idl::{TypeCode, Value};
+///
+/// assert!(TypeCode::Double.accepts(&Value::from(3i64)));
+/// assert!(!TypeCode::Str.accepts(&Value::from(3i64)));
+/// assert!(TypeCode::Any.accepts(&Value::Null));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeCode {
+    /// No value (operation results only).
+    Void,
+    /// Matches any value, including `Null`.
+    Any,
+    /// Booleans.
+    Boolean,
+    /// 64-bit integers.
+    Long,
+    /// 64-bit floats (accepts integers by coercion).
+    Double,
+    /// UTF-8 strings.
+    Str,
+    /// Opaque byte payloads.
+    Octets,
+    /// Homogeneous sequences.
+    Sequence(Box<TypeCode>),
+    /// Any map/struct value (field-level typing is dynamic).
+    AnyStruct,
+    /// A named struct with typed fields.
+    Struct(Vec<(String, TypeCode)>),
+    /// An object reference whose `type_id` must be a subtype of the given
+    /// interface (subtype checking is done by the interface repository;
+    /// structurally we compare names, with the empty string meaning "any
+    /// object").
+    Object(String),
+}
+
+impl TypeCode {
+    /// True if `value` is acceptable where this type is expected.
+    ///
+    /// This is a *structural* check: object-reference subtyping beyond
+    /// name equality is delegated to the interface repository by callers
+    /// that have one.
+    pub fn accepts(&self, value: &Value) -> bool {
+        match (self, value) {
+            (TypeCode::Any, _) => true,
+            (TypeCode::Void, Value::Null) => true,
+            (TypeCode::Boolean, Value::Bool(_)) => true,
+            (TypeCode::Long, Value::Long(_)) => true,
+            (TypeCode::Double, Value::Double(_) | Value::Long(_)) => true,
+            (TypeCode::Str, Value::Str(_)) => true,
+            (TypeCode::Octets, Value::Bytes(_)) => true,
+            (TypeCode::Sequence(inner), Value::Seq(items)) => {
+                items.iter().all(|item| inner.accepts(item))
+            }
+            (TypeCode::AnyStruct, Value::Map(_)) => true,
+            (TypeCode::Struct(fields), Value::Map(entries)) => fields.iter().all(|(name, tc)| {
+                entries
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .is_some_and(|(_, v)| tc.accepts(v))
+            }),
+            (TypeCode::Object(want), Value::ObjRef(data)) => {
+                want.is_empty() || *want == data.type_id
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for TypeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeCode::Void => write!(f, "void"),
+            TypeCode::Any => write!(f, "any"),
+            TypeCode::Boolean => write!(f, "boolean"),
+            TypeCode::Long => write!(f, "long"),
+            TypeCode::Double => write!(f, "double"),
+            TypeCode::Str => write!(f, "string"),
+            TypeCode::Octets => write!(f, "octets"),
+            TypeCode::Sequence(inner) => write!(f, "sequence<{inner}>"),
+            TypeCode::AnyStruct => write!(f, "struct"),
+            TypeCode::Struct(fields) => {
+                write!(f, "struct{{")?;
+                for (i, (name, tc)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {tc}")?;
+                }
+                write!(f, "}}")
+            }
+            TypeCode::Object(id) if id.is_empty() => write!(f, "Object"),
+            TypeCode::Object(id) => write!(f, "Object<{id}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ObjRefData;
+
+    #[test]
+    fn primitives_accept_their_values_only() {
+        assert!(TypeCode::Boolean.accepts(&Value::from(true)));
+        assert!(!TypeCode::Boolean.accepts(&Value::from(1i64)));
+        assert!(TypeCode::Long.accepts(&Value::from(1i64)));
+        assert!(!TypeCode::Long.accepts(&Value::from(1.5)));
+        assert!(TypeCode::Str.accepts(&Value::from("x")));
+        assert!(!TypeCode::Void.accepts(&Value::from("x")));
+        assert!(TypeCode::Void.accepts(&Value::Null));
+    }
+
+    #[test]
+    fn double_accepts_long_by_coercion() {
+        assert!(TypeCode::Double.accepts(&Value::from(7i64)));
+        assert!(TypeCode::Double.accepts(&Value::from(7.5)));
+    }
+
+    #[test]
+    fn sequences_check_all_elements() {
+        let tc = TypeCode::Sequence(Box::new(TypeCode::Long));
+        assert!(tc.accepts(&Value::Seq(vec![Value::from(1i64), Value::from(2i64)])));
+        assert!(!tc.accepts(&Value::Seq(vec![Value::from(1i64), Value::from("x")])));
+        assert!(tc.accepts(&Value::Seq(vec![])));
+    }
+
+    #[test]
+    fn structs_require_typed_fields() {
+        let tc = TypeCode::Struct(vec![("load".into(), TypeCode::Double)]);
+        assert!(tc.accepts(&Value::map([("load", Value::from(0.5))])));
+        assert!(!tc.accepts(&Value::map([("load", Value::from("high"))])));
+        assert!(!tc.accepts(&Value::map([("other", Value::from(0.5))])));
+        // Extra fields are fine (width subtyping).
+        assert!(tc.accepts(&Value::map([
+            ("load", Value::from(0.5)),
+            ("host", Value::from("n1")),
+        ])));
+    }
+
+    #[test]
+    fn object_type_matches_by_name() {
+        let r = Value::ObjRef(ObjRefData::new("e", "k", "EventMonitor"));
+        assert!(TypeCode::Object("EventMonitor".into()).accepts(&r));
+        assert!(!TypeCode::Object("Trader".into()).accepts(&r));
+        assert!(TypeCode::Object(String::new()).accepts(&r));
+    }
+
+    #[test]
+    fn any_accepts_everything() {
+        for v in [
+            Value::Null,
+            Value::from(false),
+            Value::from(0i64),
+            Value::from("s"),
+            Value::Seq(vec![]),
+        ] {
+            assert!(TypeCode::Any.accepts(&v));
+        }
+    }
+
+    #[test]
+    fn display_round_names() {
+        assert_eq!(
+            TypeCode::Sequence(Box::new(TypeCode::Double)).to_string(),
+            "sequence<double>"
+        );
+        assert_eq!(TypeCode::Object("X".into()).to_string(), "Object<X>");
+        assert_eq!(TypeCode::Object(String::new()).to_string(), "Object");
+    }
+}

@@ -1,0 +1,427 @@
+//! Self-describing wire values — the CORBA `Any` analogue.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::typecode::TypeCode;
+
+/// The data carried by an object reference: enough to reach the object
+/// from any process.
+///
+/// This is the stringified-IOR payload: a transport endpoint, the object
+/// key within that endpoint's adapter, and the interface (repository id)
+/// the object claims to implement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRefData {
+    /// Transport endpoint, e.g. `inproc://node1` or `tcp://127.0.0.1:9001`.
+    pub endpoint: String,
+    /// Object key within the endpoint's object adapter.
+    pub key: String,
+    /// Interface name (repository id) of the most derived interface.
+    pub type_id: String,
+}
+
+impl ObjRefData {
+    /// Creates reference data from its three components.
+    pub fn new(
+        endpoint: impl Into<String>,
+        key: impl Into<String>,
+        type_id: impl Into<String>,
+    ) -> Self {
+        ObjRefData {
+            endpoint: endpoint.into(),
+            key: key.into(),
+            type_id: type_id.into(),
+        }
+    }
+
+    /// Stringified form (`adapta-ref:<endpoint>;<key>;<type_id>`), the
+    /// IOR analogue. Components are percent-escaped where needed.
+    pub fn to_uri(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    ';' => out.push_str("%3B"),
+                    '%' => out.push_str("%25"),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        format!(
+            "adapta-ref:{};{};{}",
+            esc(&self.endpoint),
+            esc(&self.key),
+            esc(&self.type_id)
+        )
+    }
+
+    /// Parses the stringified form produced by [`to_uri`](Self::to_uri).
+    pub fn from_uri(uri: &str) -> Option<Self> {
+        fn unesc(s: &str) -> String {
+            s.replace("%3B", ";").replace("%25", "%")
+        }
+        let rest = uri.strip_prefix("adapta-ref:")?;
+        let mut parts = rest.split(';');
+        let endpoint = unesc(parts.next()?);
+        let key = unesc(parts.next()?);
+        let type_id = unesc(parts.next()?);
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(ObjRefData::new(endpoint, key, type_id))
+    }
+}
+
+impl fmt::Display for ObjRefData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_uri())
+    }
+}
+
+/// A dynamically-typed value as carried in requests and replies.
+///
+/// `Value` is the single currency of the whole stack: DII arguments,
+/// DSI results, trading properties, monitor readings and script values
+/// all map to it. It is deliberately structural — like LuaCorba, the
+/// system type-checks at invocation time, not at compile time.
+///
+/// ```
+/// use adapta_idl::Value;
+///
+/// let v = Value::map([
+///     ("name", Value::from("LoadAvg")),
+///     ("values", Value::from(vec![Value::from(0.5), Value::from(0.3)])),
+/// ]);
+/// assert_eq!(v.get("name").unwrap().as_str(), Some("LoadAvg"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// Absence of a value (maps to script `nil`, IDL `void`).
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Long(i64),
+    /// A 64-bit float.
+    Double(f64),
+    /// A UTF-8 string (also used to ship script source code).
+    Str(String),
+    /// An opaque byte payload (images in the viewer example).
+    Bytes(Bytes),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered set of named fields (struct / script-table analogue).
+    Map(Vec<(String, Value)>),
+    /// A remote object reference.
+    ObjRef(ObjRefData),
+}
+
+impl Value {
+    /// Builds a [`Value::Map`] from `(name, value)` pairs.
+    pub fn map<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// The structural type of this value.
+    pub fn type_code(&self) -> TypeCode {
+        match self {
+            Value::Null => TypeCode::Void,
+            Value::Bool(_) => TypeCode::Boolean,
+            Value::Long(_) => TypeCode::Long,
+            Value::Double(_) => TypeCode::Double,
+            Value::Str(_) => TypeCode::Str,
+            Value::Bytes(_) => TypeCode::Octets,
+            Value::Seq(items) => {
+                // Homogeneous sequences get a precise element type;
+                // heterogeneous (or empty) ones are sequences of `any`.
+                let inner = match items.split_first() {
+                    Some((first, rest)) => {
+                        let tc = first.type_code();
+                        if rest.iter().all(|v| v.type_code() == tc) {
+                            tc
+                        } else {
+                            TypeCode::Any
+                        }
+                    }
+                    None => TypeCode::Any,
+                };
+                TypeCode::Sequence(Box::new(inner))
+            }
+            Value::Map(_) => TypeCode::AnyStruct,
+            Value::ObjRef(data) => TypeCode::Object(data.type_id.clone()),
+        }
+    }
+
+    /// A short name for the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Long(_) => "long",
+            Value::Double(_) => "double",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+            Value::ObjRef(_) => "objref",
+        }
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is a `Long` (or a `Double` with an integral
+    /// value).
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(n) => Some(*n),
+            Value::Double(d) if d.fract() == 0.0 && d.is_finite() => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; `Long` coerces losslessly.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(d) => Some(*d),
+            Value::Long(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The byte payload, if this is `Bytes`.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The reference data, if this is an `ObjRef`.
+    pub fn as_objref(&self) -> Option<&ObjRefData> {
+        match self {
+            Value::ObjRef(data) => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field by name in a `Map` (first match wins).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Map(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element `i` of a `Seq`.
+    pub fn at(&self, i: usize) -> Option<&Value> {
+        self.as_seq().and_then(|s| s.get(i))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Long(n) => write!(f, "{n}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Seq(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}={v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::ObjRef(data) => write!(f, "{data}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i32> for Value {
+    fn from(n: i32) -> Value {
+        Value::Long(n as i64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Long(n)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Long(n as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(d: f64) -> Value {
+        Value::Double(d)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Value {
+        Value::Bytes(b)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Seq(items)
+    }
+}
+impl From<ObjRefData> for Value {
+    fn from(data: ObjRefData) -> Value {
+        Value::ObjRef(data)
+    }
+}
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::Seq(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(42i64).as_long(), Some(42));
+        assert_eq!(Value::from(42i64).as_double(), Some(42.0));
+        assert_eq!(Value::from(2.5).as_double(), Some(2.5));
+        assert_eq!(Value::from(2.0).as_long(), Some(2));
+        assert_eq!(Value::from(2.5).as_long(), None);
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from("hi").as_bool(), None);
+    }
+
+    #[test]
+    fn map_lookup_finds_first_match() {
+        let v = Value::map([("a", Value::from(1i64)), ("b", Value::from(2i64))]);
+        assert_eq!(v.get("b").unwrap().as_long(), Some(2));
+        assert!(v.get("z").is_none());
+        assert!(Value::Null.get("a").is_none());
+    }
+
+    #[test]
+    fn seq_indexing() {
+        let v: Value = vec![Value::from(10i64), Value::from(20i64)].into();
+        assert_eq!(v.at(1).unwrap().as_long(), Some(20));
+        assert!(v.at(5).is_none());
+    }
+
+    #[test]
+    fn objref_uri_round_trips() {
+        let r = ObjRefData::new("tcp://127.0.0.1:9000", "mon;1", "EventMonitor");
+        let uri = r.to_uri();
+        assert_eq!(ObjRefData::from_uri(&uri), Some(r));
+    }
+
+    #[test]
+    fn objref_uri_rejects_garbage() {
+        assert!(ObjRefData::from_uri("http://x").is_none());
+        assert!(ObjRefData::from_uri("adapta-ref:only-one-part").is_none());
+        assert!(ObjRefData::from_uri("adapta-ref:a;b;c;d").is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::map([("n", Value::from(1i64))]);
+        assert_eq!(v.to_string(), "{n=1}");
+        let v: Value = vec![Value::from(true), Value::Null].into();
+        assert_eq!(v.to_string(), "[true, null]");
+    }
+
+    #[test]
+    fn kind_names_cover_all_variants() {
+        let cases: Vec<(Value, &str)> = vec![
+            (Value::Null, "null"),
+            (Value::from(true), "bool"),
+            (Value::from(1i64), "long"),
+            (Value::from(1.0), "double"),
+            (Value::from("x"), "string"),
+            (Value::Bytes(Bytes::from_static(b"x")), "bytes"),
+            (Value::Seq(vec![]), "sequence"),
+            (Value::Map(vec![]), "map"),
+            (Value::ObjRef(ObjRefData::new("e", "k", "T")), "objref"),
+        ];
+        for (v, kind) in cases {
+            assert_eq!(v.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn from_iterator_collects_into_seq() {
+        let v: Value = (0..3i64).map(Value::from).collect();
+        assert_eq!(v.as_seq().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the type system and the IDL parser.
+
+use adapta_idl::{parse_idl, ObjRefData, TypeCode, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Long),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Double),
+        "[a-z ]{0,16}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    /// `Any` accepts every value; every value is accepted by its own
+    /// type code.
+    #[test]
+    fn type_codes_are_sound(v in value_strategy()) {
+        prop_assert!(TypeCode::Any.accepts(&v));
+        let tc = v.type_code();
+        prop_assert!(tc.accepts(&v), "value {v:?} rejected by its own type {tc}");
+    }
+
+    /// `Long` always coerces into `Double` parameters.
+    #[test]
+    fn long_coerces_to_double(n in any::<i64>()) {
+        prop_assert!(TypeCode::Double.accepts(&Value::Long(n)));
+        prop_assert_eq!(Value::Long(n).as_double(), Some(n as f64));
+    }
+
+    /// The IDL parser never panics on arbitrary input.
+    #[test]
+    fn idl_parser_is_total(src in ".{0,200}") {
+        let _ = parse_idl(&src);
+    }
+
+    /// Generated well-formed interfaces parse and expose their
+    /// operations.
+    #[test]
+    fn generated_interfaces_parse(
+        iface in "[A-Z][A-Za-z0-9]{0,10}",
+        ops in proptest::collection::vec(
+            ("[a-z][A-Za-z0-9_]{0,10}", 0usize..4, any::<bool>()),
+            1..6,
+        ),
+    ) {
+        // Deduplicate operation names to keep the expectation simple.
+        let mut seen = std::collections::HashSet::new();
+        let ops: Vec<_> = ops
+            .into_iter()
+            .filter(|(name, _, _)| seen.insert(name.clone()) && name != "in")
+            .collect();
+        prop_assume!(!ops.is_empty());
+        let mut src = format!("interface {iface} {{\n");
+        for (name, arity, oneway) in &ops {
+            let params: Vec<String> = (0..*arity)
+                .map(|i| format!("in any p{i}"))
+                .collect();
+            let prefix = if *oneway { "oneway void" } else { "any" };
+            src.push_str(&format!("  {prefix} {name}({});\n", params.join(", ")));
+        }
+        src.push_str("};\n");
+        let defs = parse_idl(&src).expect("generated idl parses");
+        prop_assert_eq!(defs.len(), 1);
+        prop_assert_eq!(&defs[0].name, &iface);
+        for (name, arity, oneway) in &ops {
+            let op = defs[0].operation(name).expect("operation exists");
+            prop_assert_eq!(op.params.len(), *arity);
+            prop_assert_eq!(op.oneway, *oneway);
+        }
+    }
+
+    /// Object-reference URIs round-trip for arbitrary printable content.
+    #[test]
+    fn objref_uris_round_trip(
+        endpoint in "[ -~]{0,32}",
+        key in "[ -~]{0,32}",
+        type_id in "[ -~]{0,32}",
+    ) {
+        let r = ObjRefData::new(endpoint, key, type_id);
+        prop_assert_eq!(ObjRefData::from_uri(&r.to_uri()), Some(r));
+    }
+
+    /// Map field lookup returns the first match and misses cleanly.
+    #[test]
+    fn map_lookup_semantics(
+        fields in proptest::collection::vec(("[a-c]", any::<i64>()), 0..8),
+        probe in "[a-e]",
+    ) {
+        let v = Value::Map(
+            fields
+                .iter()
+                .map(|(k, n)| (k.clone(), Value::Long(*n)))
+                .collect(),
+        );
+        let expected = fields.iter().find(|(k, _)| *k == probe).map(|(_, n)| *n);
+        prop_assert_eq!(v.get(&probe).and_then(Value::as_long), expected);
+    }
+}

@@ -1,0 +1,882 @@
+//! The monitor object: one observed property, its aspects and its
+//! event observers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adapta_bridge::{ActorError, FuncHandle, ScriptActor};
+use adapta_idl::Value;
+use adapta_orb::{ObjRef, Orb};
+use adapta_sim::SimTime;
+use parking_lot::Mutex;
+
+use crate::facade;
+
+/// Where a monitor's property value comes from on each tick.
+pub(crate) enum ValueSource {
+    /// No automatic refresh; only `setValue`.
+    Constant,
+    /// A native Rust sampler.
+    Native(Box<dyn Fn(SimTime) -> Value + Send + Sync>),
+    /// A zero-argument script function stored in the actor.
+    Script(FuncHandle),
+}
+
+pub(crate) enum AspectFn {
+    /// Native evaluator: `f(current_value) -> aspect_value`.
+    Native(Box<dyn Fn(&Value) -> Value + Send + Sync>),
+    /// Script evaluator `function(self, currval, monitor)` with a
+    /// persistent `self` table (both stored in the actor).
+    Script {
+        func: FuncHandle,
+        self_table: FuncHandle,
+    },
+}
+
+struct AspectEntry {
+    name: String,
+    func: AspectFn,
+    last: Value,
+}
+
+/// Identifies an attached event observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObserverId(pub u64);
+
+/// Where event notifications go.
+pub enum ObserverTarget {
+    /// A remote `EventObserver` object (`oneway notifyEvent(evid)`).
+    Remote(ObjRef),
+    /// A script object (table with a `notifyEvent` method) living in
+    /// this monitor's actor — the paper's Figure 4 observer.
+    Local(FuncHandle),
+    /// A native callback (used by in-process smart proxies).
+    Callback(Arc<dyn Fn(&str) + Send + Sync>),
+}
+
+impl std::fmt::Debug for ObserverTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObserverTarget::Remote(r) => write!(f, "Remote({r})"),
+            ObserverTarget::Local(_) => write!(f, "Local(script)"),
+            ObserverTarget::Callback(_) => write!(f, "Callback"),
+        }
+    }
+}
+
+pub(crate) enum PredicateFn {
+    /// Native predicate over the current value.
+    Native(Box<dyn Fn(&Value) -> bool + Send + Sync>),
+    /// Script predicate `function(observer, value, monitor) -> bool`.
+    Script(FuncHandle),
+}
+
+struct ObserverEntry {
+    id: u64,
+    target: ObserverTarget,
+    event_id: String,
+    predicate: PredicateFn,
+}
+
+pub(crate) struct MonitorInner {
+    property: String,
+    period: Duration,
+    pub(crate) actor: ScriptActor,
+    orb: Orb,
+    value: Mutex<Value>,
+    source: Mutex<ValueSource>,
+    aspects: Mutex<Vec<AspectEntry>>,
+    observers: Mutex<Vec<ObserverEntry>>,
+    next_observer: AtomicU64,
+    notifications: AtomicU64,
+    errors: AtomicU64,
+    ticks: AtomicU64,
+}
+
+/// A monitor for one observed property — `BasicMonitor`,
+/// `AspectsManager` and `EventMonitor` in a single object, as in the
+/// paper's implementation.
+///
+/// Cloning yields another handle to the same monitor.
+///
+/// ```
+/// use adapta_monitor::{Monitor, ScriptActor};
+/// use adapta_orb::Orb;
+/// use adapta_sim::SimTime;
+/// use adapta_idl::Value;
+///
+/// let orb = Orb::new("mon-doc");
+/// let actor = ScriptActor::spawn("mon-doc", |_| {});
+/// let mon = Monitor::builder("Temp")
+///     .source_native(|_now| Value::from(21.5))
+///     .build(&actor, &orb)
+///     .unwrap();
+/// mon.tick(SimTime::ZERO);
+/// assert_eq!(mon.value(), Value::from(21.5));
+/// ```
+#[derive(Clone)]
+pub struct Monitor {
+    pub(crate) inner: Arc<MonitorInner>,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("property", &self.inner.property)
+            .field("value", &*self.inner.value.lock())
+            .field("aspects", &self.defined_aspects())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`Monitor`].
+pub struct MonitorBuilder {
+    property: String,
+    period: Duration,
+    initial: Value,
+    source_native: Option<Box<dyn Fn(SimTime) -> Value + Send + Sync>>,
+    source_script: Option<String>,
+    source_handle: Option<FuncHandle>,
+}
+
+impl MonitorBuilder {
+    /// Sets the refresh period hint (default 60 s, the paper's choice).
+    pub fn period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Sets the initial property value.
+    pub fn initial(mut self, value: Value) -> Self {
+        self.initial = value;
+        self
+    }
+
+    /// Samples the property with a native closure on each tick.
+    pub fn source_native(mut self, f: impl Fn(SimTime) -> Value + Send + Sync + 'static) -> Self {
+        self.source_native = Some(Box::new(f));
+        self.source_script = None;
+        self
+    }
+
+    /// Samples the property with a script function (source text) on
+    /// each tick — the paper's `EventMonitor:new` update argument.
+    pub fn source_script(mut self, code: impl Into<String>) -> Self {
+        self.source_script = Some(code.into());
+        self.source_native = None;
+        self
+    }
+
+    /// Samples the property with an already-stored script function
+    /// (used by the script-side `EventMonitor.new`).
+    pub(crate) fn source_handle(mut self, h: FuncHandle) -> Self {
+        self.source_handle = Some(h);
+        self.source_native = None;
+        self.source_script = None;
+        self
+    }
+
+    /// Builds the monitor on an actor (script state) and orb.
+    ///
+    /// # Errors
+    ///
+    /// Script compilation errors for script sources.
+    pub fn build(self, actor: &ScriptActor, orb: &Orb) -> Result<Monitor, ActorError> {
+        let source = if let Some(h) = self.source_handle {
+            ValueSource::Script(h)
+        } else if let Some(code) = self.source_script {
+            ValueSource::Script(actor.store_function(&code)?)
+        } else if let Some(f) = self.source_native {
+            ValueSource::Native(f)
+        } else {
+            ValueSource::Constant
+        };
+        Ok(Monitor {
+            inner: Arc::new(MonitorInner {
+                property: self.property,
+                period: self.period,
+                actor: actor.clone(),
+                orb: orb.clone(),
+                value: Mutex::new(self.initial),
+                source: Mutex::new(source),
+                aspects: Mutex::new(Vec::new()),
+                observers: Mutex::new(Vec::new()),
+                next_observer: AtomicU64::new(1),
+                notifications: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                ticks: AtomicU64::new(0),
+            }),
+        })
+    }
+}
+
+impl Monitor {
+    /// Starts building a monitor for the named property.
+    pub fn builder(property: impl Into<String>) -> MonitorBuilder {
+        MonitorBuilder {
+            property: property.into(),
+            period: Duration::from_secs(60),
+            initial: Value::Null,
+            source_native: None,
+            source_script: None,
+            source_handle: None,
+        }
+    }
+
+    /// The observed property's name.
+    pub fn property(&self) -> &str {
+        &self.inner.property
+    }
+
+    /// The refresh-period hint for drivers.
+    pub fn period(&self) -> Duration {
+        self.inner.period
+    }
+
+    /// The script actor hosting this monitor's dynamic code.
+    pub fn actor(&self) -> &ScriptActor {
+        &self.inner.actor
+    }
+
+    /// The current property value (`getValue`).
+    pub fn value(&self) -> Value {
+        self.inner.value.lock().clone()
+    }
+
+    /// Overwrites the property value (`setValue`).
+    pub fn set_value(&self, value: Value) {
+        *self.inner.value.lock() = value;
+    }
+
+    /// Number of event notifications sent so far.
+    pub fn notifications(&self) -> u64 {
+        self.inner.notifications.load(Ordering::Relaxed)
+    }
+
+    /// Number of ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Number of update/aspect/predicate evaluation errors so far.
+    pub fn errors(&self) -> u64 {
+        self.inner.errors.load(Ordering::Relaxed)
+    }
+
+    // ---- aspects -------------------------------------------------------
+
+    /// Defines (or replaces) an aspect computed natively.
+    pub fn define_aspect_native(
+        &self,
+        name: impl Into<String>,
+        f: impl Fn(&Value) -> Value + Send + Sync + 'static,
+    ) {
+        self.put_aspect(name.into(), AspectFn::Native(Box::new(f)));
+    }
+
+    /// Defines (or replaces) an aspect from script source — the
+    /// `defineAspect(name, updatef)` of Figure 1. The function is
+    /// called as `updatef(self, currval, monitor)` on every tick, with
+    /// a persistent `self` table.
+    ///
+    /// # Errors
+    ///
+    /// Script compilation errors.
+    pub fn define_aspect_script(
+        &self,
+        name: impl Into<String>,
+        code: &str,
+    ) -> Result<(), ActorError> {
+        let func = self.inner.actor.store_function(code)?;
+        let self_table = self
+            .inner
+            .actor
+            .with(|interp| ScriptActor::stored_put(interp, adapta_script::Value::table()))?;
+        self.put_aspect(name.into(), AspectFn::Script { func, self_table });
+        Ok(())
+    }
+
+    pub(crate) fn put_aspect(&self, name: String, func: AspectFn) {
+        let mut aspects = self.inner.aspects.lock();
+        if let Some(entry) = aspects.iter_mut().find(|a| a.name == name) {
+            entry.func = func;
+            entry.last = Value::Null;
+        } else {
+            aspects.push(AspectEntry {
+                name,
+                func,
+                last: Value::Null,
+            });
+        }
+    }
+
+    /// The last computed value of an aspect (`getAspectValue`).
+    pub fn aspect_value(&self, name: &str) -> Option<Value> {
+        self.inner
+            .aspects
+            .lock()
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.last.clone())
+    }
+
+    /// Names of defined aspects, in definition order (`definedAspects`).
+    pub fn defined_aspects(&self) -> Vec<String> {
+        self.inner
+            .aspects
+            .lock()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect()
+    }
+
+    // ---- observers -------------------------------------------------------
+
+    /// Attaches an observer with a script predicate
+    /// (`attachEventObserver`). The predicate source is evaluated *at
+    /// the monitor* — the remote-evaluation paradigm.
+    ///
+    /// # Errors
+    ///
+    /// Script compilation errors.
+    pub fn attach_observer_script(
+        &self,
+        target: ObserverTarget,
+        event_id: impl Into<String>,
+        predicate_code: &str,
+    ) -> Result<ObserverId, ActorError> {
+        let func = self.inner.actor.store_function(predicate_code)?;
+        Ok(self.push_observer(target, event_id.into(), PredicateFn::Script(func)))
+    }
+
+    /// Attaches an observer with a native predicate.
+    pub fn attach_observer_native(
+        &self,
+        target: ObserverTarget,
+        event_id: impl Into<String>,
+        predicate: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> ObserverId {
+        self.push_observer(
+            target,
+            event_id.into(),
+            PredicateFn::Native(Box::new(predicate)),
+        )
+    }
+
+    pub(crate) fn push_observer(
+        &self,
+        target: ObserverTarget,
+        event_id: String,
+        predicate: PredicateFn,
+    ) -> ObserverId {
+        let id = self.inner.next_observer.fetch_add(1, Ordering::Relaxed);
+        self.inner.observers.lock().push(ObserverEntry {
+            id,
+            target,
+            event_id,
+            predicate,
+        });
+        ObserverId(id)
+    }
+
+    /// Detaches an observer (`detachEventObserver`); returns whether it
+    /// existed.
+    pub fn detach_observer(&self, id: ObserverId) -> bool {
+        let mut observers = self.inner.observers.lock();
+        let before = observers.len();
+        observers.retain(|o| o.id != id.0);
+        observers.len() != before
+    }
+
+    /// Number of attached observers.
+    pub fn observer_count(&self) -> usize {
+        self.inner.observers.lock().len()
+    }
+
+    // ---- the tick -------------------------------------------------------
+
+    /// Runs one monitor cycle at time `now`: refresh the property value
+    /// from its source, re-evaluate every aspect, then run every
+    /// observer's event predicate and notify on `true`.
+    ///
+    /// Errors in user-supplied code are counted (see
+    /// [`errors`](Self::errors)) and never abort the tick.
+    pub fn tick(&self, now: SimTime) {
+        self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+        self.refresh_value(now);
+        self.refresh_aspects();
+        self.run_observers();
+    }
+
+    fn refresh_value(&self, now: SimTime) {
+        // Decide what to do with the source lock held briefly.
+        enum Plan {
+            Keep,
+            Set(Value),
+            CallScript(FuncHandle),
+        }
+        let plan = {
+            let source = self.inner.source.lock();
+            match &*source {
+                ValueSource::Constant => Plan::Keep,
+                ValueSource::Native(f) => Plan::Set(f(now)),
+                ValueSource::Script(h) => Plan::CallScript(*h),
+            }
+        };
+        match plan {
+            Plan::Keep => {}
+            Plan::Set(v) => *self.inner.value.lock() = v,
+            Plan::CallScript(h) => match self.inner.actor.call(h, vec![]) {
+                Ok(values) => {
+                    *self.inner.value.lock() = values.into_iter().next().unwrap_or(Value::Null);
+                }
+                Err(_) => {
+                    self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        }
+    }
+
+    fn refresh_aspects(&self) {
+        let names: Vec<String> = self.defined_aspects();
+        for name in names {
+            // Snapshot what we need without holding the lock across
+            // actor calls (facade natives re-enter these mutexes).
+            enum Plan {
+                Native(Value),
+                Script(FuncHandle, FuncHandle),
+                Gone,
+            }
+            let current = self.value();
+            let plan = {
+                let aspects = self.inner.aspects.lock();
+                match aspects.iter().find(|a| a.name == name) {
+                    Some(entry) => match &entry.func {
+                        AspectFn::Native(f) => Plan::Native(f(&current)),
+                        AspectFn::Script { func, self_table } => Plan::Script(*func, *self_table),
+                    },
+                    None => Plan::Gone,
+                }
+            };
+            let result = match plan {
+                Plan::Gone => continue,
+                Plan::Native(v) => Some(v),
+                Plan::Script(func, self_table) => {
+                    let monitor = self.clone();
+                    let out = self.inner.actor.call_with(func, move |interp| {
+                        let self_arg = ScriptActor::stored_get(interp, self_table)
+                            .unwrap_or(adapta_script::Value::Nil);
+                        let currval = adapta_bridge::from_wire(&monitor.value());
+                        let facade = facade::monitor_facade(interp, &monitor);
+                        vec![self_arg, currval, facade]
+                    });
+                    match out {
+                        Ok(values) => Some(values.into_iter().next().unwrap_or(Value::Null)),
+                        Err(_) => {
+                            self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                    }
+                }
+            };
+            if let Some(v) = result {
+                let mut aspects = self.inner.aspects.lock();
+                if let Some(entry) = aspects.iter_mut().find(|a| a.name == name) {
+                    entry.last = v;
+                }
+            }
+        }
+    }
+
+    fn run_observers(&self) {
+        let ids: Vec<u64> = self.inner.observers.lock().iter().map(|o| o.id).collect();
+        for id in ids {
+            enum Plan {
+                Native(bool),
+                Script(FuncHandle),
+                Gone,
+            }
+            let current = self.value();
+            let plan = {
+                let observers = self.inner.observers.lock();
+                match observers.iter().find(|o| o.id == id) {
+                    Some(entry) => match &entry.predicate {
+                        PredicateFn::Native(f) => Plan::Native(f(&current)),
+                        PredicateFn::Script(h) => Plan::Script(*h),
+                    },
+                    None => Plan::Gone,
+                }
+            };
+            let fired = match plan {
+                Plan::Gone => continue,
+                Plan::Native(b) => b,
+                Plan::Script(h) => {
+                    let monitor = self.clone();
+                    let observer_arg = {
+                        let observers = self.inner.observers.lock();
+                        match observers.iter().find(|o| o.id == id).map(|o| &o.target) {
+                            Some(ObserverTarget::Remote(r)) => ObserverArg::Remote(r.clone()),
+                            Some(ObserverTarget::Local(h)) => ObserverArg::Local(*h),
+                            Some(ObserverTarget::Callback(_)) => ObserverArg::None,
+                            None => continue,
+                        }
+                    };
+                    let out = self.inner.actor.call_with(h, move |interp| {
+                        let obs = match observer_arg {
+                            ObserverArg::Remote(r) => adapta_bridge::from_wire(&Value::ObjRef(r)),
+                            ObserverArg::Local(h) => ScriptActor::stored_get(interp, h)
+                                .unwrap_or(adapta_script::Value::Nil),
+                            ObserverArg::None => adapta_script::Value::Nil,
+                        };
+                        let currval = adapta_bridge::from_wire(&monitor.value());
+                        let facade = facade::monitor_facade(interp, &monitor);
+                        vec![obs, currval, facade]
+                    });
+                    match out {
+                        Ok(values) => values
+                            .first()
+                            .map(|v| !matches!(v, Value::Null | Value::Bool(false)))
+                            .unwrap_or(false),
+                        Err(_) => {
+                            self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                            false
+                        }
+                    }
+                }
+            };
+            if fired {
+                self.notify(id);
+            }
+        }
+    }
+
+    /// Delivers `notifyEvent` to the observer `id`.
+    fn notify(&self, id: u64) {
+        enum Delivery {
+            Remote(ObjRef, String),
+            Local(FuncHandle, String),
+            Callback(Arc<dyn Fn(&str) + Send + Sync>, String),
+        }
+        let delivery = {
+            let observers = self.inner.observers.lock();
+            let Some(entry) = observers.iter().find(|o| o.id == id) else {
+                return;
+            };
+            match &entry.target {
+                ObserverTarget::Remote(r) => Delivery::Remote(r.clone(), entry.event_id.clone()),
+                ObserverTarget::Local(h) => Delivery::Local(*h, entry.event_id.clone()),
+                ObserverTarget::Callback(f) => {
+                    Delivery::Callback(f.clone(), entry.event_id.clone())
+                }
+            }
+        };
+        self.inner.notifications.fetch_add(1, Ordering::Relaxed);
+        match delivery {
+            Delivery::Remote(target, event_id) => {
+                if self
+                    .inner
+                    .orb
+                    .invoke_oneway_ref(&target, "notifyEvent", vec![Value::from(event_id)])
+                    .is_err()
+                {
+                    self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Delivery::Local(h, event_id) => {
+                let out = self.inner.actor.with(move |interp| {
+                    let Some(table) = ScriptActor::stored_get(interp, h) else {
+                        return Err(ActorError::UnknownFunction(0));
+                    };
+                    let method = table
+                        .as_table()
+                        .map(|t| t.borrow().get_str("notifyEvent"))
+                        .unwrap_or(adapta_script::Value::Nil);
+                    interp
+                        .call(&method, vec![table, adapta_script::Value::str(&event_id)])
+                        .map(|_| ())
+                        .map_err(ActorError::from)
+                });
+                if !matches!(out, Ok(Ok(()))) {
+                    self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Delivery::Callback(f, event_id) => f(&event_id),
+        }
+    }
+}
+
+enum ObserverArg {
+    Remote(ObjRef),
+    Local(FuncHandle),
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn setup() -> (Orb, ScriptActor) {
+        (Orb::new("mon-test"), ScriptActor::spawn("mon-test", |_| {}))
+    }
+
+    #[test]
+    fn native_source_refreshes_value() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Load")
+            .source_native(|now| Value::from(now.as_secs() as f64))
+            .build(&actor, &orb)
+            .unwrap();
+        assert_eq!(mon.value(), Value::Null);
+        mon.tick(SimTime::from_secs(5));
+        assert_eq!(mon.value(), Value::from(5.0));
+        assert_eq!(mon.ticks(), 1);
+    }
+
+    #[test]
+    fn script_source_refreshes_value() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Seq")
+            .source_script("local n = 0\nreturn function() n = n + 1 return n end")
+            .build(&actor, &orb)
+            .unwrap();
+        mon.tick(SimTime::ZERO);
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.value(), Value::Long(2));
+    }
+
+    #[test]
+    fn constant_monitor_uses_set_value() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Policy")
+            .initial(Value::from("strict"))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.value(), Value::from("strict"));
+        mon.set_value(Value::from("lenient"));
+        assert_eq!(mon.value(), Value::from("lenient"));
+    }
+
+    #[test]
+    fn native_aspects_follow_the_value() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Load")
+            .source_native(|now| Value::from(now.as_secs() as f64))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.define_aspect_native("Doubled", |v| {
+            Value::from(v.as_double().unwrap_or(0.0) * 2.0)
+        });
+        mon.tick(SimTime::from_secs(3));
+        assert_eq!(mon.aspect_value("Doubled"), Some(Value::from(6.0)));
+        assert_eq!(mon.defined_aspects(), vec!["Doubled"]);
+        assert_eq!(mon.aspect_value("Nope"), None);
+    }
+
+    #[test]
+    fn script_aspect_gets_self_currval_monitor() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("LoadAvg")
+            .source_native(|_| {
+                Value::Seq(vec![Value::from(3.0), Value::from(2.0), Value::from(1.0)])
+            })
+            .build(&actor, &orb)
+            .unwrap();
+        // The paper's "Increasing" aspect (Figure 3, lines 14-21).
+        mon.define_aspect_script(
+            "Increasing",
+            r#"function(self, currval, monitor)
+                if currval[1] > currval[2] then
+                    return "yes"
+                else
+                    return "no"
+                end
+            end"#,
+        )
+        .unwrap();
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.aspect_value("Increasing"), Some(Value::from("yes")));
+    }
+
+    #[test]
+    fn script_aspect_self_is_persistent() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("X")
+            .source_native(|_| Value::from(1.0))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.define_aspect_script(
+            "Count",
+            "function(self, currval, monitor)\nself.n = (self.n or 0) + 1\nreturn self.n\nend",
+        )
+        .unwrap();
+        mon.tick(SimTime::ZERO);
+        mon.tick(SimTime::ZERO);
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.aspect_value("Count"), Some(Value::Long(3)));
+    }
+
+    #[test]
+    fn aspect_can_read_other_aspects_via_monitor_facade() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("X")
+            .source_native(|_| Value::from(10.0))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.define_aspect_native("Base", |v| v.clone());
+        mon.define_aspect_script(
+            "BasePlusOne",
+            "function(self, currval, monitor)\nreturn monitor:getAspectValue('Base') + 1\nend",
+        )
+        .unwrap();
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.aspect_value("BasePlusOne"), Some(Value::Long(11)));
+    }
+
+    #[test]
+    fn redefining_an_aspect_replaces_it() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("X")
+            .source_native(|_| Value::from(1.0))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.define_aspect_native("A", |_| Value::from(1i64));
+        mon.define_aspect_native("A", |_| Value::from(2i64));
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.defined_aspects().len(), 1);
+        assert_eq!(mon.aspect_value("A"), Some(Value::Long(2)));
+    }
+
+    #[test]
+    fn native_observer_fires_and_detaches() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Load")
+            .source_native(|now| Value::from(now.as_secs() as f64))
+            .build(&actor, &orb)
+            .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired_clone = fired.clone();
+        let id = mon.attach_observer_native(
+            ObserverTarget::Callback(Arc::new(move |evid| {
+                assert_eq!(evid, "LoadIncrease");
+                fired_clone.fetch_add(1, Ordering::Relaxed);
+            })),
+            "LoadIncrease",
+            |v| v.as_double().unwrap_or(0.0) > 50.0,
+        );
+        mon.tick(SimTime::from_secs(10)); // below threshold
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+        mon.tick(SimTime::from_secs(60)); // above threshold
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert_eq!(mon.notifications(), 1);
+        assert!(mon.detach_observer(id));
+        mon.tick(SimTime::from_secs(70));
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert!(!mon.detach_observer(id));
+    }
+
+    #[test]
+    fn script_predicate_with_aspect_reproduces_fig4() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("LoadAvg")
+            .source_native(|now| {
+                // Rising load: one-minute average grows with time.
+                let l1 = now.as_secs() as f64;
+                Value::Seq(vec![
+                    Value::from(l1),
+                    Value::from(l1 / 2.0),
+                    Value::from(0.0),
+                ])
+            })
+            .build(&actor, &orb)
+            .unwrap();
+        mon.define_aspect_script(
+            "Increasing",
+            r#"function(self, currval, monitor)
+                if currval[1] > currval[2] then return "yes" else return "no" end
+            end"#,
+        )
+        .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired_clone = fired.clone();
+        // The paper's Figure 4 predicate, verbatim semantics.
+        mon.attach_observer_script(
+            ObserverTarget::Callback(Arc::new(move |_| {
+                fired_clone.fetch_add(1, Ordering::Relaxed);
+            })),
+            "LoadIncrease",
+            r#"function(observer, value, monitor)
+                local incr
+                incr = monitor:getAspectValue("Increasing")
+                return value[1] > 50 and incr == "yes"
+            end"#,
+        )
+        .unwrap();
+        mon.tick(SimTime::from_secs(10));
+        assert_eq!(fired.load(Ordering::Relaxed), 0, "load below limit");
+        mon.tick(SimTime::from_secs(60));
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "load high and increasing");
+    }
+
+    #[test]
+    fn remote_observer_gets_oneway_notification() {
+        let (orb, actor) = setup();
+        let observer_orb = Orb::new("mon-test-obs");
+        observer_orb.set_synchronous_oneway(true);
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let seen_clone = seen.clone();
+        let obs_ref = observer_orb
+            .activate(
+                "obs",
+                adapta_orb::ServantFn::new("EventObserver", move |op, args| {
+                    assert_eq!(op, "notifyEvent");
+                    seen_clone
+                        .lock()
+                        .push(args[0].as_str().unwrap_or("?").to_owned());
+                    Ok(Value::Null)
+                }),
+            )
+            .unwrap();
+        let mon = Monitor::builder("Load")
+            .source_native(|_| Value::from(99.0))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.attach_observer_native(ObserverTarget::Remote(obs_ref), "Overload", |v| {
+            v.as_double().unwrap_or(0.0) > 50.0
+        });
+        mon.tick(SimTime::ZERO);
+        assert_eq!(seen.lock().as_slice(), &["Overload".to_owned()]);
+    }
+
+    #[test]
+    fn predicate_errors_are_counted_not_fatal() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("X")
+            .source_native(|_| Value::from(1.0))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.attach_observer_script(
+            ObserverTarget::Callback(Arc::new(|_| {})),
+            "E",
+            "function(o, v, m) error('kaboom') end",
+        )
+        .unwrap();
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.errors(), 1);
+        assert_eq!(mon.notifications(), 0);
+        // Monitor still works.
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.ticks(), 2);
+    }
+
+    #[test]
+    fn bad_source_script_fails_at_build() {
+        let (orb, actor) = setup();
+        assert!(Monitor::builder("X")
+            .source_script("not valid lua ((")
+            .build(&actor, &orb)
+            .is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Broker errors.
+
+use std::error::Error;
+use std::fmt;
+
+use adapta_idl::IdlError;
+
+/// Errors raised by broker operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrbError {
+    /// Interface/type-system error (unknown operation, bad arguments…).
+    Idl(IdlError),
+    /// No servant is active under the object key.
+    ObjectNotFound {
+        /// The missing key.
+        key: String,
+    },
+    /// The endpoint does not name a reachable node.
+    NodeUnreachable {
+        /// The endpoint that failed to resolve.
+        endpoint: String,
+    },
+    /// A malformed wire message.
+    Marshal(String),
+    /// A transport-level failure (connection refused, broken pipe…).
+    Transport(String),
+    /// The remote servant raised an application exception.
+    RemoteException {
+        /// Exception text from the servant.
+        message: String,
+    },
+    /// A name was not found in a naming context.
+    NameNotFound {
+        /// The unresolved name.
+        name: String,
+    },
+}
+
+impl OrbError {
+    /// Convenience constructor for servants rejecting an operation.
+    pub fn unknown_operation(interface: &str, operation: &str) -> Self {
+        OrbError::Idl(IdlError::UnknownOperation {
+            interface: interface.to_owned(),
+            operation: operation.to_owned(),
+        })
+    }
+
+    /// Convenience constructor for application-level exceptions.
+    pub fn exception(message: impl Into<String>) -> Self {
+        OrbError::RemoteException {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbError::Idl(e) => write!(f, "{e}"),
+            OrbError::ObjectNotFound { key } => write!(f, "no object under key `{key}`"),
+            OrbError::NodeUnreachable { endpoint } => {
+                write!(f, "endpoint `{endpoint}` is unreachable")
+            }
+            OrbError::Marshal(m) => write!(f, "marshalling error: {m}"),
+            OrbError::Transport(m) => write!(f, "transport error: {m}"),
+            OrbError::RemoteException { message } => {
+                write!(f, "remote exception: {message}")
+            }
+            OrbError::NameNotFound { name } => write!(f, "name `{name}` not bound"),
+        }
+    }
+}
+
+impl Error for OrbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OrbError::Idl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IdlError> for OrbError {
+    fn from(e: IdlError) -> Self {
+        OrbError::Idl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OrbError::ObjectNotFound { key: "k1".into() }
+            .to_string()
+            .contains("k1"));
+        assert!(OrbError::exception("bad state")
+            .to_string()
+            .contains("bad state"));
+        assert!(OrbError::unknown_operation("I", "op")
+            .to_string()
+            .contains("op"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<OrbError>();
+    }
+}

@@ -1,0 +1,239 @@
+//! Wire messages — the GIOP analogue.
+
+use adapta_idl::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::OrbError;
+use crate::marshal::{get_str, get_value, put_value};
+use crate::OrbResult;
+
+const MAGIC: &[u8; 4] = b"ADPT";
+const VERSION: u8 = 1;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_REPLY: u8 = 1;
+const KIND_ONEWAY: u8 = 2;
+
+/// The body of a request (two-way or oneway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestBody {
+    /// Correlation id (unused for oneway).
+    pub id: u64,
+    /// Target object key.
+    pub key: String,
+    /// Operation name.
+    pub operation: String,
+    /// Argument list.
+    pub args: Vec<Value>,
+}
+
+/// The body of a reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyBody {
+    /// Correlation id of the request being answered.
+    pub id: u64,
+    /// The operation result or the raised exception.
+    pub outcome: Result<Value, String>,
+}
+
+/// A broker wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Two-way invocation.
+    Request(RequestBody),
+    /// Fire-and-forget invocation (no reply follows).
+    Oneway(RequestBody),
+    /// Reply to a two-way request.
+    Reply(ReplyBody),
+}
+
+impl Message {
+    /// Encodes the message, without the transport length prefix.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        match self {
+            Message::Request(body) | Message::Oneway(body) => {
+                buf.put_u8(if matches!(self, Message::Request(_)) {
+                    KIND_REQUEST
+                } else {
+                    KIND_ONEWAY
+                });
+                buf.put_u64_le(body.id);
+                put_str_local(&mut buf, &body.key);
+                put_str_local(&mut buf, &body.operation);
+                put_value(&mut buf, &Value::Seq(body.args.clone()));
+            }
+            Message::Reply(body) => {
+                buf.put_u8(KIND_REPLY);
+                buf.put_u64_le(body.id);
+                match &body.outcome {
+                    Ok(v) => {
+                        buf.put_u8(0);
+                        put_value(&mut buf, v);
+                    }
+                    Err(message) => {
+                        buf.put_u8(1);
+                        put_str_local(&mut buf, message);
+                    }
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message from a complete frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::Marshal`] on malformed frames.
+    pub fn decode(bytes: &[u8]) -> OrbResult<Message> {
+        let mut cursor = bytes;
+        if cursor.len() < 6 {
+            return Err(OrbError::Marshal("frame too short".into()));
+        }
+        let (magic, rest) = cursor.split_at(4);
+        cursor = rest;
+        if magic != MAGIC {
+            return Err(OrbError::Marshal("bad magic".into()));
+        }
+        let version = cursor.get_u8();
+        if version != VERSION {
+            return Err(OrbError::Marshal(format!(
+                "unsupported protocol version {version}"
+            )));
+        }
+        let kind = cursor.get_u8();
+        let msg = match kind {
+            KIND_REQUEST | KIND_ONEWAY => {
+                if cursor.len() < 8 {
+                    return Err(OrbError::Marshal("truncated request".into()));
+                }
+                let id = cursor.get_u64_le();
+                let key = get_str(&mut cursor)?;
+                let operation = get_str(&mut cursor)?;
+                let args = match get_value(&mut cursor)? {
+                    Value::Seq(items) => items,
+                    _ => return Err(OrbError::Marshal("request args must be a sequence".into())),
+                };
+                let body = RequestBody {
+                    id,
+                    key,
+                    operation,
+                    args,
+                };
+                if kind == KIND_REQUEST {
+                    Message::Request(body)
+                } else {
+                    Message::Oneway(body)
+                }
+            }
+            KIND_REPLY => {
+                if cursor.len() < 9 {
+                    return Err(OrbError::Marshal("truncated reply".into()));
+                }
+                let id = cursor.get_u64_le();
+                let status = cursor.get_u8();
+                let outcome = match status {
+                    0 => Ok(get_value(&mut cursor)?),
+                    1 => Err(get_str(&mut cursor)?),
+                    other => {
+                        return Err(OrbError::Marshal(format!("unknown reply status {other}")))
+                    }
+                };
+                Message::Reply(ReplyBody { id, outcome })
+            }
+            other => return Err(OrbError::Marshal(format!("unknown message kind {other}"))),
+        };
+        if !cursor.is_empty() {
+            return Err(OrbError::Marshal("trailing bytes in frame".into()));
+        }
+        Ok(msg)
+    }
+}
+
+fn put_str_local(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let bytes = msg.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip(Message::Request(RequestBody {
+            id: 7,
+            key: "mon-1".into(),
+            operation: "getValue".into(),
+            args: vec![Value::Long(1), Value::Str("x".into())],
+        }));
+    }
+
+    #[test]
+    fn oneway_round_trips() {
+        round_trip(Message::Oneway(RequestBody {
+            id: 0,
+            key: "obs".into(),
+            operation: "notifyEvent".into(),
+            args: vec![Value::Str("LoadIncrease".into())],
+        }));
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip(Message::Reply(ReplyBody {
+            id: 7,
+            outcome: Ok(Value::Double(0.5)),
+        }));
+        round_trip(Message::Reply(ReplyBody {
+            id: 8,
+            outcome: Err("object not found".into()),
+        }));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = Message::Reply(ReplyBody {
+            id: 1,
+            outcome: Ok(Value::Null),
+        })
+        .encode()
+        .to_vec();
+        bytes[0] = b'X';
+        assert!(Message::decode(&bytes).is_err());
+
+        let mut bytes = Message::Reply(ReplyBody {
+            id: 1,
+            outcome: Ok(Value::Null),
+        })
+        .encode()
+        .to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(OrbError::Marshal(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = Message::Request(RequestBody {
+            id: 1,
+            key: "k".into(),
+            operation: "op".into(),
+            args: vec![Value::Long(2)],
+        })
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,758 @@
+//! The broker facade: node registry, invocation routing and statistics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock, Weak};
+
+use adapta_idl::Value;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::adapter::{ObjectAdapter, Servant};
+use crate::error::OrbError;
+use crate::interceptor::{
+    ClientAction, ClientInterceptor, ClientRequestInfo, ServerAction, ServerInterceptor,
+    ServerRequestInfo,
+};
+use crate::message::{Message, ReplyBody, RequestBody};
+use crate::naming::NamingServant;
+use crate::proxy::Proxy;
+use crate::reference::ObjRef;
+use crate::transport;
+use crate::OrbResult;
+
+/// Process-wide registry of live broker nodes, keyed by node name.
+/// In-process invocation resolves `inproc://<node>` endpoints here.
+fn nodes() -> &'static StdMutex<HashMap<String, Weak<OrbCore>>> {
+    static NODES: OnceLock<StdMutex<HashMap<String, Weak<OrbCore>>>> = OnceLock::new();
+    NODES.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+fn lookup_node(node: &str) -> Option<Arc<OrbCore>> {
+    nodes()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(node)
+        .and_then(Weak::upgrade)
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    requests_sent: AtomicU64,
+    oneways_sent: AtomicU64,
+    replies_received: AtomicU64,
+    requests_served: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+/// A snapshot of a broker's message counters.
+///
+/// The monitoring experiments (event push vs. polling, remote evaluation
+/// vs. value streaming) are quantified with these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrbStats {
+    /// Two-way requests sent by this node.
+    pub requests_sent: u64,
+    /// Oneway requests sent by this node.
+    pub oneways_sent: u64,
+    /// Replies received by this node.
+    pub replies_received: u64,
+    /// Invocations dispatched to local servants.
+    pub requests_served: u64,
+    /// Message bytes sent.
+    pub bytes_sent: u64,
+    /// Message bytes received.
+    pub bytes_received: u64,
+}
+
+impl OrbStats {
+    /// Total messages sent (requests + oneways).
+    pub fn messages_sent(&self) -> u64 {
+        self.requests_sent + self.oneways_sent
+    }
+}
+
+pub(crate) struct OrbCore {
+    node: String,
+    pub(crate) adapter: ObjectAdapter,
+    stats: StatCells,
+    pub(crate) tcp_addr: RwLock<Option<String>>,
+    sync_oneway: AtomicBool,
+    oneway_tx: Mutex<Option<Sender<RequestBody>>>,
+    next_id: AtomicU64,
+    pub(crate) tcp_pool: Mutex<HashMap<String, Arc<Mutex<std::net::TcpStream>>>>,
+    client_interceptors: RwLock<Vec<Arc<dyn ClientInterceptor>>>,
+    server_interceptors: RwLock<Vec<Arc<dyn ServerInterceptor>>>,
+}
+
+impl std::fmt::Debug for OrbCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrbCore")
+            .field("node", &self.node)
+            .field("adapter", &self.adapter)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OrbCore {
+    pub(crate) fn count_bytes_in(&self, n: usize) {
+        self.stats
+            .bytes_received
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_bytes_out(&self, n: usize) {
+        self.stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_served(&self) {
+        self.stats.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Server-side dispatch of a decoded request (through the server
+    /// interceptor chain).
+    pub(crate) fn serve(&self, body: RequestBody) -> ReplyBody {
+        self.count_served();
+        let interceptors = self.server_interceptors.read().clone();
+        for interceptor in &interceptors {
+            let info = ServerRequestInfo {
+                key: &body.key,
+                operation: &body.operation,
+                args: &body.args,
+            };
+            if let ServerAction::Abort(message) = interceptor.receive_request(&info) {
+                return ReplyBody {
+                    id: body.id,
+                    outcome: Err(format!("remote exception: {message}")),
+                };
+            }
+        }
+        // CORBA-style standard pseudo-operations, answered by the
+        // broker itself so they work for every object (and for absent
+        // ones, in the case of `_non_existent`).
+        let outcome = match body.operation.as_str() {
+            "_non_existent" => Ok(Value::Bool(self.adapter.find(&body.key).is_none())),
+            "_interface" => match self.adapter.find(&body.key) {
+                Some(servant) => Ok(Value::from(servant.interface())),
+                None => Err(OrbError::ObjectNotFound {
+                    key: body.key.clone(),
+                }
+                .to_string()),
+            },
+            "_is_a" => match self.adapter.find(&body.key) {
+                Some(servant) => {
+                    let asked = body.args.first().and_then(Value::as_str).unwrap_or("");
+                    Ok(Value::Bool(servant.interface() == asked))
+                }
+                None => Err(OrbError::ObjectNotFound {
+                    key: body.key.clone(),
+                }
+                .to_string()),
+            },
+            _ => self
+                .adapter
+                .dispatch(&body.key, &body.operation, body.args)
+                .map_err(|e| e.to_string()),
+        };
+        ReplyBody {
+            id: body.id,
+            outcome,
+        }
+    }
+
+    /// Enqueues a oneway request for asynchronous local execution.
+    fn enqueue_oneway(self: &Arc<Self>, body: RequestBody) {
+        if self.sync_oneway.load(Ordering::Relaxed) {
+            let _ = self.serve(body);
+            return;
+        }
+        let mut guard = self.oneway_tx.lock();
+        if guard.is_none() {
+            let (tx, rx) = unbounded::<RequestBody>();
+            let weak = Arc::downgrade(self);
+            std::thread::Builder::new()
+                .name(format!("{}-oneway", self.node))
+                .spawn(move || {
+                    while let Ok(body) = rx.recv() {
+                        let Some(core) = weak.upgrade() else { break };
+                        let _ = core.serve(body);
+                    }
+                })
+                .expect("spawn oneway executor");
+            *guard = Some(tx);
+        }
+        if let Some(tx) = guard.as_ref() {
+            let _ = tx.send(body);
+        }
+    }
+}
+
+/// A broker node: an object adapter plus transports, cheaply cloneable.
+///
+/// Each `Orb` has a unique node name; `inproc://<node>` endpoints route
+/// between orbs of the same process through full marshalling (so
+/// in-process measurements reflect real serialisation costs), and
+/// `tcp://host:port` endpoints route between processes.
+///
+/// See the [crate docs](crate) for a full example.
+#[derive(Debug, Clone)]
+pub struct Orb {
+    core: Arc<OrbCore>,
+}
+
+impl Orb {
+    /// Creates a broker node. If `node` is taken by a live orb in this
+    /// process, a numeric suffix is appended (check
+    /// [`node_name`](Self::node_name) for the actual name).
+    pub fn new(node: &str) -> Orb {
+        let mut registry = nodes().lock().unwrap_or_else(|e| e.into_inner());
+        let mut name = node.to_owned();
+        let mut n = 1;
+        while registry.get(&name).is_some_and(|w| w.strong_count() > 0) {
+            n += 1;
+            name = format!("{node}-{n}");
+        }
+        let core = Arc::new(OrbCore {
+            node: name.clone(),
+            adapter: ObjectAdapter::new(),
+            stats: StatCells::default(),
+            tcp_addr: RwLock::new(None),
+            sync_oneway: AtomicBool::new(false),
+            oneway_tx: Mutex::new(None),
+            next_id: AtomicU64::new(1),
+            tcp_pool: Mutex::new(HashMap::new()),
+            client_interceptors: RwLock::new(Vec::new()),
+            server_interceptors: RwLock::new(Vec::new()),
+        });
+        registry.insert(name, Arc::downgrade(&core));
+        drop(registry);
+        let orb = Orb { core };
+        // Every node hosts a naming context for bootstrap references.
+        orb.core
+            .adapter
+            .activate("_naming", Arc::new(NamingServant::new()))
+            .expect("naming servant on fresh adapter");
+        orb
+    }
+
+    /// The node's actual (unique) name.
+    pub fn node_name(&self) -> &str {
+        &self.core.node
+    }
+
+    /// The preferred endpoint for references exported by this node:
+    /// the TCP endpoint when listening, otherwise `inproc://<node>`.
+    pub fn endpoint(&self) -> String {
+        match self.core.tcp_addr.read().as_ref() {
+            Some(addr) => format!("tcp://{addr}"),
+            None => format!("inproc://{}", self.core.node),
+        }
+    }
+
+    /// Message counters so far.
+    pub fn stats(&self) -> OrbStats {
+        let s = &self.core.stats;
+        OrbStats {
+            requests_sent: s.requests_sent.load(Ordering::Relaxed),
+            oneways_sent: s.oneways_sent.load(Ordering::Relaxed),
+            replies_received: s.replies_received.load(Ordering::Relaxed),
+            requests_served: s.requests_served.load(Ordering::Relaxed),
+            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Makes locally-delivered oneway invocations run synchronously in
+    /// the caller's thread — used by deterministic tests and simulations.
+    pub fn set_synchronous_oneway(&self, on: bool) {
+        self.core.sync_oneway.store(on, Ordering::Relaxed);
+    }
+
+    /// Starts a TCP listener; returns the full endpoint (`tcp://…`).
+    /// Pass `"127.0.0.1:0"` to pick a free port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::Transport`] when binding fails.
+    pub fn listen_tcp(&self, addr: &str) -> OrbResult<String> {
+        let bound = transport::tcp::listen(&self.core, addr)?;
+        *self.core.tcp_addr.write() = Some(bound.to_string());
+        Ok(format!("tcp://{bound}"))
+    }
+
+    /// Activates a servant under `key`; returns its reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key is in use.
+    pub fn activate(&self, key: &str, servant: impl Servant + 'static) -> OrbResult<ObjRef> {
+        self.activate_arc(key, Arc::new(servant))
+    }
+
+    /// Activates a shared servant under `key`; returns its reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key is in use.
+    pub fn activate_arc(&self, key: &str, servant: Arc<dyn Servant>) -> OrbResult<ObjRef> {
+        let type_id = servant.interface().to_owned();
+        self.core.adapter.activate(key, servant)?;
+        Ok(ObjRef::new(self.endpoint(), key, type_id))
+    }
+
+    /// Activates a servant under a generated key; returns its reference.
+    pub fn activate_auto(&self, servant: impl Servant + 'static) -> ObjRef {
+        let servant: Arc<dyn Servant> = Arc::new(servant);
+        let type_id = servant.interface().to_owned();
+        let key = self.core.adapter.activate_auto(servant);
+        ObjRef::new(self.endpoint(), key, type_id)
+    }
+
+    /// Deactivates the servant under `key`; returns whether one existed.
+    pub fn deactivate(&self, key: &str) -> bool {
+        self.core.adapter.deactivate(key)
+    }
+
+    /// The local object adapter.
+    pub fn adapter(&self) -> &ObjectAdapter {
+        &self.core.adapter
+    }
+
+    /// Builds a reference to a locally-activated object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::ObjectNotFound`] if nothing is active under
+    /// `key`.
+    pub fn object_ref(&self, key: &str) -> OrbResult<ObjRef> {
+        let servant = self
+            .core
+            .adapter
+            .find(key)
+            .ok_or_else(|| OrbError::ObjectNotFound {
+                key: key.to_owned(),
+            })?;
+        Ok(ObjRef::new(
+            self.endpoint(),
+            key,
+            servant.interface().to_owned(),
+        ))
+    }
+
+    /// Creates a client proxy for a reference (the DII entry point).
+    pub fn proxy(&self, target: &ObjRef) -> Proxy {
+        Proxy::new(self.clone(), target.clone())
+    }
+
+    /// Parses a stringified reference and creates a proxy for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::Marshal`] on malformed reference strings.
+    pub fn proxy_from_uri(&self, uri: &str) -> OrbResult<Proxy> {
+        let data = ObjRef::from_uri(uri)
+            .ok_or_else(|| OrbError::Marshal(format!("bad object reference `{uri}`")))?;
+        Ok(self.proxy(&data))
+    }
+
+    // ---- naming ------------------------------------------------------
+
+    /// Binds `name → target` in this node's naming context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates servant errors.
+    pub fn bind_name(&self, name: &str, target: &ObjRef) -> OrbResult<()> {
+        self.core.adapter.dispatch(
+            "_naming",
+            "bind",
+            vec![Value::from(name), Value::ObjRef(target.clone())],
+        )?;
+        Ok(())
+    }
+
+    /// Resolves `name` in the naming context at `endpoint` (or locally
+    /// when `endpoint` is this node's).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::NameNotFound`] when unbound, or transport
+    /// errors.
+    pub fn resolve_name(&self, endpoint: &str, name: &str) -> OrbResult<ObjRef> {
+        let target = ObjRef::new(endpoint, "_naming", "NamingContext");
+        let reply = self.invoke_ref(&target, "resolve", vec![Value::from(name)]);
+        match reply {
+            Ok(Value::ObjRef(data)) => Ok(data),
+            Ok(other) => Err(OrbError::Marshal(format!(
+                "naming context returned {}, expected an object reference",
+                other.kind()
+            ))),
+            Err(OrbError::RemoteException { message }) if message.contains("not bound") => {
+                Err(OrbError::NameNotFound {
+                    name: name.to_owned(),
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    // ---- invocation --------------------------------------------------
+
+    /// Registers a client-side request interceptor (runs on every
+    /// outgoing invocation of this node, in registration order).
+    pub fn add_client_interceptor(&self, interceptor: impl ClientInterceptor + 'static) {
+        self.core
+            .client_interceptors
+            .write()
+            .push(Arc::new(interceptor));
+    }
+
+    /// Registers a server-side request interceptor (runs before every
+    /// local dispatch).
+    pub fn add_server_interceptor(&self, interceptor: impl ServerInterceptor + 'static) {
+        self.core
+            .server_interceptors
+            .write()
+            .push(Arc::new(interceptor));
+    }
+
+    /// Runs the client interceptor chain; returns the (possibly
+    /// redirected) target. Per the CORBA rules, a redirect restarts the
+    /// chain on the new target; redirect loops are cut after 8 rounds.
+    fn intercept_client(
+        &self,
+        target: &ObjRef,
+        op: &str,
+        args: &[Value],
+        oneway: bool,
+    ) -> OrbResult<ObjRef> {
+        let interceptors = self.core.client_interceptors.read().clone();
+        let mut current = target.clone();
+        if interceptors.is_empty() {
+            return Ok(current);
+        }
+        for _round in 0..8 {
+            let mut redirected = false;
+            for interceptor in &interceptors {
+                let info = ClientRequestInfo {
+                    target: &current,
+                    operation: op,
+                    args,
+                    oneway,
+                };
+                match interceptor.send_request(&info) {
+                    ClientAction::Proceed => {}
+                    ClientAction::Redirect(next) => {
+                        current = next;
+                        redirected = true;
+                        break;
+                    }
+                    ClientAction::Abort(message) => {
+                        return Err(OrbError::exception(message));
+                    }
+                }
+            }
+            if !redirected {
+                return Ok(current);
+            }
+        }
+        Err(OrbError::Transport(
+            "client interceptors redirected more than 8 times".into(),
+        ))
+    }
+
+    /// Notifies interceptors of a two-way outcome.
+    fn intercept_reply(
+        &self,
+        target: &ObjRef,
+        op: &str,
+        args: &[Value],
+        outcome: &OrbResult<Value>,
+    ) {
+        let interceptors = self.core.client_interceptors.read().clone();
+        for interceptor in &interceptors {
+            let info = ClientRequestInfo {
+                target,
+                operation: op,
+                args,
+                oneway: false,
+            };
+            interceptor.receive_reply(&info, outcome);
+        }
+    }
+
+    /// Sends a two-way invocation to `target` and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, [`OrbError::ObjectNotFound`], or the remote
+    /// exception raised by the servant.
+    pub fn invoke_ref(&self, target: &ObjRef, op: &str, args: Vec<Value>) -> OrbResult<Value> {
+        let target = self.intercept_client(target, op, &args, false)?;
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        let body = RequestBody {
+            id,
+            key: target.key.clone(),
+            operation: op.to_owned(),
+            args: args.clone(),
+        };
+        self.core
+            .stats
+            .requests_sent
+            .fetch_add(1, Ordering::Relaxed);
+        let outcome = (|| {
+            let reply = self.route(&target, Message::Request(body))?;
+            let reply = reply.expect("two-way invocations produce a reply");
+            self.core
+                .stats
+                .replies_received
+                .fetch_add(1, Ordering::Relaxed);
+            reply.outcome.map_err(Self::revive_error)
+        })();
+        self.intercept_reply(&target, op, &args, &outcome);
+        outcome
+    }
+
+    /// Sends a oneway (fire-and-forget) invocation to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; servant outcomes are not observable.
+    pub fn invoke_oneway_ref(&self, target: &ObjRef, op: &str, args: Vec<Value>) -> OrbResult<()> {
+        let target = self.intercept_client(target, op, &args, true)?;
+        let body = RequestBody {
+            id: 0,
+            key: target.key.clone(),
+            operation: op.to_owned(),
+            args,
+        };
+        self.core.stats.oneways_sent.fetch_add(1, Ordering::Relaxed);
+        self.route(&target, Message::Oneway(body))?;
+        Ok(())
+    }
+
+    /// Reconstructs a structured error from a remote error string where
+    /// possible (object-not-found keeps its type across the wire).
+    fn revive_error(message: String) -> OrbError {
+        if let Some(rest) = message.strip_prefix("remote exception: ") {
+            return OrbError::RemoteException {
+                message: rest.to_owned(),
+            };
+        }
+        if let Some(rest) = message.strip_prefix("no object under key `") {
+            if let Some(key) = rest.strip_suffix('`') {
+                return OrbError::ObjectNotFound {
+                    key: key.to_owned(),
+                };
+            }
+        }
+        OrbError::RemoteException { message }
+    }
+
+    /// Routes an encoded message to the target endpoint and returns the
+    /// reply body for two-way requests.
+    fn route(&self, target: &ObjRef, msg: Message) -> OrbResult<Option<ReplyBody>> {
+        if let Some(node) = target.endpoint.strip_prefix("inproc://") {
+            let peer = lookup_node(node).ok_or_else(|| OrbError::NodeUnreachable {
+                endpoint: target.endpoint.clone(),
+            })?;
+            // Full marshal/unmarshal round trip keeps in-process
+            // measurements honest.
+            let bytes = msg.encode();
+            self.core.count_bytes_out(bytes.len());
+            peer.count_bytes_in(bytes.len());
+            let decoded = Message::decode(&bytes)?;
+            match decoded {
+                Message::Request(body) => {
+                    let reply = peer.serve(body);
+                    let reply_bytes = Message::Reply(reply).encode();
+                    peer.count_bytes_out(reply_bytes.len());
+                    self.core.count_bytes_in(reply_bytes.len());
+                    match Message::decode(&reply_bytes)? {
+                        Message::Reply(body) => Ok(Some(body)),
+                        _ => Err(OrbError::Marshal("expected a reply".into())),
+                    }
+                }
+                Message::Oneway(body) => {
+                    peer.enqueue_oneway(body);
+                    Ok(None)
+                }
+                Message::Reply(_) => Err(OrbError::Marshal("unexpected reply".into())),
+            }
+        } else if let Some(addr) = target.endpoint.strip_prefix("tcp://") {
+            transport::tcp::invoke(&self.core, addr, msg)
+        } else {
+            Err(OrbError::NodeUnreachable {
+                endpoint: target.endpoint.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::ServantFn;
+
+    fn hello_servant() -> ServantFn {
+        ServantFn::new("Hello", |op, args| match op {
+            "hello" => Ok(Value::from(format!(
+                "hello, {}",
+                args.first().and_then(Value::as_str).unwrap_or("?")
+            ))),
+            "fail" => Err(OrbError::exception("deliberate failure")),
+            other => Err(OrbError::unknown_operation("Hello", other)),
+        })
+    }
+
+    #[test]
+    fn inproc_round_trip() {
+        let server = Orb::new("t-orb-server");
+        let objref = server.activate("h", hello_servant()).unwrap();
+        let client = Orb::new("t-orb-client");
+        let out = client
+            .invoke_ref(&objref, "hello", vec![Value::from("world")])
+            .unwrap();
+        assert_eq!(out, Value::from("hello, world"));
+    }
+
+    #[test]
+    fn duplicate_node_names_are_uniquified() {
+        let a = Orb::new("t-orb-dup");
+        let b = Orb::new("t-orb-dup");
+        assert_ne!(a.node_name(), b.node_name());
+        assert!(b.node_name().starts_with("t-orb-dup"));
+    }
+
+    #[test]
+    fn node_name_is_freed_on_drop() {
+        let name;
+        {
+            let orb = Orb::new("t-orb-freed");
+            name = orb.node_name().to_owned();
+        }
+        let again = Orb::new("t-orb-freed");
+        assert_eq!(again.node_name(), name);
+    }
+
+    #[test]
+    fn remote_exceptions_propagate() {
+        let server = Orb::new("t-orb-exc");
+        let objref = server.activate("h", hello_servant()).unwrap();
+        let client = Orb::new("t-orb-exc-client");
+        let err = client.invoke_ref(&objref, "fail", vec![]).unwrap_err();
+        assert!(
+            matches!(err, OrbError::RemoteException { message } if message.contains("deliberate"))
+        );
+    }
+
+    #[test]
+    fn object_not_found_survives_the_wire() {
+        let server = Orb::new("t-orb-404");
+        let client = Orb::new("t-orb-404-client");
+        let target = ObjRef::new(server.endpoint(), "ghost", "Hello");
+        let err = client.invoke_ref(&target, "hello", vec![]).unwrap_err();
+        assert!(matches!(err, OrbError::ObjectNotFound { key } if key == "ghost"));
+    }
+
+    #[test]
+    fn unreachable_node_is_an_error() {
+        let client = Orb::new("t-orb-unreach");
+        let target = ObjRef::new("inproc://no-such-node", "k", "T");
+        assert!(matches!(
+            client.invoke_ref(&target, "op", vec![]),
+            Err(OrbError::NodeUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let server = Orb::new("t-orb-stats");
+        let objref = server.activate("h", hello_servant()).unwrap();
+        let client = Orb::new("t-orb-stats-client");
+        client
+            .invoke_ref(&objref, "hello", vec![Value::from("x")])
+            .unwrap();
+        client.invoke_oneway_ref(&objref, "hello", vec![]).unwrap();
+        let cs = client.stats();
+        assert_eq!(cs.requests_sent, 1);
+        assert_eq!(cs.oneways_sent, 1);
+        assert_eq!(cs.replies_received, 1);
+        assert!(cs.bytes_sent > 0 && cs.bytes_received > 0);
+        // Server served at least the two-way (oneway may still be queued).
+        assert!(server.stats().requests_served >= 1);
+    }
+
+    #[test]
+    fn synchronous_oneway_serves_inline() {
+        let server = Orb::new("t-orb-sync1w");
+        server.set_synchronous_oneway(true);
+        let objref = server.activate("h", hello_servant()).unwrap();
+        let client = Orb::new("t-orb-sync1w-client");
+        client.invoke_oneway_ref(&objref, "hello", vec![]).unwrap();
+        assert_eq!(server.stats().requests_served, 1);
+    }
+
+    #[test]
+    fn async_oneway_is_eventually_served() {
+        let server = Orb::new("t-orb-async1w");
+        let objref = server.activate("h", hello_servant()).unwrap();
+        let client = Orb::new("t-orb-async1w-client");
+        client.invoke_oneway_ref(&objref, "hello", vec![]).unwrap();
+        for _ in 0..200 {
+            if server.stats().requests_served == 1 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("oneway was never served");
+    }
+
+    #[test]
+    fn self_invocation_works() {
+        let orb = Orb::new("t-orb-self");
+        let objref = orb.activate("h", hello_servant()).unwrap();
+        let out = orb
+            .invoke_ref(&objref, "hello", vec![Value::from("me")])
+            .unwrap();
+        assert_eq!(out, Value::from("hello, me"));
+    }
+
+    #[test]
+    fn naming_binds_and_resolves_across_nodes() {
+        let server = Orb::new("t-orb-naming");
+        let objref = server.activate("h", hello_servant()).unwrap();
+        server.bind_name("hello-service", &objref).unwrap();
+        let client = Orb::new("t-orb-naming-client");
+        let resolved = client
+            .resolve_name(&server.endpoint(), "hello-service")
+            .unwrap();
+        assert_eq!(resolved, objref);
+        let missing = client.resolve_name(&server.endpoint(), "nope");
+        assert!(matches!(missing, Err(OrbError::NameNotFound { .. })));
+    }
+
+    #[test]
+    fn proxy_from_uri_round_trips() {
+        let server = Orb::new("t-orb-uri");
+        let objref = server.activate("h", hello_servant()).unwrap();
+        let client = Orb::new("t-orb-uri-client");
+        let proxy = client.proxy_from_uri(&objref.to_uri()).unwrap();
+        let out = proxy.invoke("hello", vec![Value::from("uri")]).unwrap();
+        assert_eq!(out, Value::from("hello, uri"));
+        assert!(client.proxy_from_uri("garbage").is_err());
+    }
+
+    #[test]
+    fn deactivate_then_invoke_fails() {
+        let server = Orb::new("t-orb-deact");
+        let objref = server.activate("h", hello_servant()).unwrap();
+        assert!(server.deactivate("h"));
+        let client = Orb::new("t-orb-deact-client");
+        assert!(matches!(
+            client.invoke_ref(&objref, "hello", vec![]),
+            Err(OrbError::ObjectNotFound { .. })
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! Client-side proxies and dynamic requests — the DII analogue.
+
+use adapta_idl::Value;
+
+use crate::orb::Orb;
+use crate::reference::ObjRef;
+use crate::OrbResult;
+
+/// A client-side representative of a remote object.
+///
+/// Like a LuaCorba proxy, a `Proxy` carries no compiled stub: operations
+/// are named at run time and argument lists are assembled dynamically.
+///
+/// ```no_run
+/// # use adapta_orb::{Orb, ObjRef};
+/// # use adapta_idl::Value;
+/// # fn demo(orb: &Orb, target: &ObjRef) -> adapta_orb::OrbResult<()> {
+/// let proxy = orb.proxy(target);
+/// let value = proxy.invoke("getValue", vec![])?;
+/// proxy.request("setValue").arg(value).invoke()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Proxy {
+    orb: Orb,
+    target: ObjRef,
+}
+
+impl Proxy {
+    pub(crate) fn new(orb: Orb, target: ObjRef) -> Self {
+        Proxy { orb, target }
+    }
+
+    /// The reference this proxy denotes.
+    pub fn target(&self) -> &ObjRef {
+        &self.target
+    }
+
+    /// The interface (repository id) claimed by the reference.
+    pub fn type_id(&self) -> &str {
+        &self.target.type_id
+    }
+
+    /// The orb this proxy invokes through.
+    pub fn orb(&self) -> &Orb {
+        &self.orb
+    }
+
+    /// Invokes a two-way operation.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or the servant's exception.
+    pub fn invoke(&self, op: &str, args: Vec<Value>) -> OrbResult<Value> {
+        self.orb.invoke_ref(&self.target, op, args)
+    }
+
+    /// Invokes a oneway operation (fire and forget).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn invoke_oneway(&self, op: &str, args: Vec<Value>) -> OrbResult<()> {
+        self.orb.invoke_oneway_ref(&self.target, op, args)
+    }
+
+    /// Starts building a dynamic request for `op`.
+    pub fn request(&self, op: &str) -> Request<'_> {
+        Request {
+            proxy: self,
+            op: op.to_owned(),
+            args: Vec::new(),
+        }
+    }
+}
+
+/// A dynamically-assembled invocation (argument list built on the fly).
+#[derive(Debug)]
+pub struct Request<'a> {
+    proxy: &'a Proxy,
+    op: String,
+    args: Vec<Value>,
+}
+
+impl Request<'_> {
+    /// Appends an argument.
+    pub fn arg(mut self, value: impl Into<Value>) -> Self {
+        self.args.push(value.into());
+        self
+    }
+
+    /// Invokes two-way and returns the result.
+    ///
+    /// # Errors
+    ///
+    /// As [`Proxy::invoke`].
+    pub fn invoke(self) -> OrbResult<Value> {
+        self.proxy.invoke(&self.op, self.args)
+    }
+
+    /// Sends as a oneway invocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Proxy::invoke_oneway`].
+    pub fn send_oneway(self) -> OrbResult<()> {
+        self.proxy.invoke_oneway(&self.op, self.args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::ServantFn;
+
+    #[test]
+    fn request_builder_assembles_args() {
+        let server = Orb::new("t-proxy-server");
+        let objref = server
+            .activate(
+                "sum",
+                ServantFn::new("Adder", |_, args| {
+                    let total: i64 = args.iter().filter_map(Value::as_long).sum();
+                    Ok(Value::Long(total))
+                }),
+            )
+            .unwrap();
+        let client = Orb::new("t-proxy-client");
+        let proxy = client.proxy(&objref);
+        let out = proxy
+            .request("add")
+            .arg(1i64)
+            .arg(2i64)
+            .arg(39i64)
+            .invoke()
+            .unwrap();
+        assert_eq!(out, Value::Long(42));
+        assert_eq!(proxy.type_id(), "Adder");
+        proxy.request("add").arg(1i64).send_oneway().unwrap();
+    }
+}

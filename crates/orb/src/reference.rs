@@ -1,0 +1,25 @@
+//! Object references.
+//!
+//! The reference data type lives in `adapta-idl` (so references can be
+//! carried inside [`Value`](adapta_idl::Value)s); the broker works with
+//! the same type under the name [`ObjRef`].
+
+/// A remote object reference: endpoint + object key + interface name.
+///
+/// The stringified form (`adapta-ref:…`, see
+/// [`ObjRef::to_uri`](adapta_idl::ObjRefData::to_uri)) is the IOR
+/// analogue: it can be printed, mailed, bound in the naming service, or
+/// embedded in trading offers, and resolved back by any process.
+pub type ObjRef = adapta_idl::ObjRefData;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objref_is_the_idl_data_type() {
+        let r = ObjRef::new("inproc://n", "k", "T");
+        let v = adapta_idl::Value::ObjRef(r.clone());
+        assert_eq!(v.as_objref(), Some(&r));
+    }
+}

@@ -1,0 +1,8 @@
+//! Transports.
+//!
+//! * in-process routing lives in [`crate::Orb`] itself (node registry +
+//!   full marshalling round trip);
+//! * [`tcp`] carries frames between processes: `u32` little-endian
+//!   length prefix + message body (see [`crate::Message`]).
+
+pub mod tcp;

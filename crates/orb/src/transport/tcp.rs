@@ -1,0 +1,298 @@
+//! The TCP transport: length-prefixed frames, one pooled connection per
+//! remote endpoint, a listener thread per serving orb.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::error::OrbError;
+use crate::message::{Message, ReplyBody};
+use crate::orb::OrbCore;
+use crate::OrbResult;
+
+/// Upper bound on accepted frame size (matches the marshalling limit).
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// How long a client waits for a reply before declaring the connection
+/// dead. Generous: this is a liveness backstop, not a pacing knob.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn io_err(context: &str, e: std::io::Error) -> OrbError {
+    OrbError::Transport(format!("{context}: {e}"))
+}
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> OrbResult<()> {
+    let len = (body.len() as u32).to_le_bytes();
+    stream
+        .write_all(&len)
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_err("write frame", e))
+}
+
+fn read_frame(stream: &mut TcpStream) -> OrbResult<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            return Err(OrbError::Transport("timed out waiting for a reply".into()))
+        }
+        Err(e) => return Err(io_err("read frame length", e)),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(OrbError::Transport(format!("frame of {len} bytes refused")));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| io_err("read frame body", e))?;
+    Ok(Some(body))
+}
+
+/// Starts a listener for `core` on `addr`; returns the bound address.
+///
+/// The accept loop runs on a daemon thread holding only a [`Weak`]
+/// reference, so dropping the orb stops it.
+pub(crate) fn listen(core: &Arc<OrbCore>, addr: &str) -> OrbResult<SocketAddr> {
+    let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("set_nonblocking", e))?;
+    let local = listener.local_addr().map_err(|e| io_err("local_addr", e))?;
+    let weak = Arc::downgrade(core);
+    std::thread::Builder::new()
+        .name(format!("orb-accept-{local}"))
+        .spawn(move || accept_loop(listener, weak))
+        .map_err(|e| OrbError::Transport(format!("spawn accept thread: {e}")))?;
+    Ok(local)
+}
+
+fn accept_loop(listener: TcpListener, weak: Weak<OrbCore>) {
+    loop {
+        if weak.strong_count() == 0 {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                let conn_weak = weak.clone();
+                let _ = std::thread::Builder::new()
+                    .name("orb-conn".to_owned())
+                    .spawn(move || serve_connection(stream, conn_weak));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
+    loop {
+        let Ok(Some(body)) = read_frame(&mut stream) else {
+            return;
+        };
+        let Some(core) = weak.upgrade() else { return };
+        core.count_bytes_in(4 + body.len());
+        let Ok(msg) = Message::decode(&body) else {
+            return; // protocol violation: drop the connection
+        };
+        match msg {
+            Message::Request(req) => {
+                let reply = core.serve(req);
+                let bytes = Message::Reply(reply).encode();
+                core.count_bytes_out(4 + bytes.len());
+                if write_frame(&mut stream, &bytes).is_err() {
+                    return;
+                }
+            }
+            Message::Oneway(req) => {
+                let _ = core.serve(req);
+            }
+            Message::Reply(_) => return, // clients never push replies
+        }
+    }
+}
+
+fn pooled_connection(core: &OrbCore, addr: &str) -> OrbResult<Arc<Mutex<TcpStream>>> {
+    if let Some(conn) = core.tcp_pool.lock().get(addr) {
+        return Ok(conn.clone());
+    }
+    let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(REPLY_TIMEOUT));
+    let conn = Arc::new(Mutex::new(stream));
+    core.tcp_pool.lock().insert(addr.to_owned(), conn.clone());
+    Ok(conn)
+}
+
+fn evict(core: &OrbCore, addr: &str) {
+    core.tcp_pool.lock().remove(addr);
+}
+
+/// Sends `msg` to `addr`; for two-way requests, waits for and returns
+/// the matching reply.
+///
+/// A stale pooled connection is evicted and retried once — but only when
+/// the failure happened before any byte of the request could have been
+/// executed remotely (the initial write), never mid-reply.
+pub(crate) fn invoke(core: &OrbCore, addr: &str, msg: Message) -> OrbResult<Option<ReplyBody>> {
+    let bytes = msg.encode();
+    let expected_id = match &msg {
+        Message::Request(body) => Some(body.id),
+        _ => None,
+    };
+    for attempt in 0..2 {
+        let conn = pooled_connection(core, addr)?;
+        let mut stream = conn.lock();
+        match write_frame(&mut stream, &bytes) {
+            Ok(()) => {}
+            Err(e) => {
+                drop(stream);
+                evict(core, addr);
+                if attempt == 0 {
+                    continue;
+                }
+                return Err(e);
+            }
+        }
+        core.count_bytes_out(4 + bytes.len());
+        let Some(expected_id) = expected_id else {
+            return Ok(None); // oneway: fire and forget
+        };
+        let reply = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => {
+                drop(stream);
+                evict(core, addr);
+                return Err(OrbError::Transport(
+                    "connection closed while awaiting reply".into(),
+                ));
+            }
+            Err(e) => {
+                drop(stream);
+                evict(core, addr);
+                return Err(e);
+            }
+        };
+        core.count_bytes_in(4 + reply.len());
+        match Message::decode(&reply)? {
+            Message::Reply(body) if body.id == expected_id => return Ok(Some(body)),
+            Message::Reply(body) => {
+                return Err(OrbError::Transport(format!(
+                    "reply id {} does not match request id {expected_id}",
+                    body.id
+                )))
+            }
+            _ => return Err(OrbError::Transport("expected a reply frame".into())),
+        }
+    }
+    unreachable!("retry loop returns on both paths")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::ServantFn;
+    use crate::orb::Orb;
+    use adapta_idl::Value;
+
+    fn echo_orb(name: &str) -> (Orb, String) {
+        let orb = Orb::new(name);
+        orb.activate(
+            "echo",
+            ServantFn::new("Echo", |op, args| {
+                if op == "boom" {
+                    return Err(OrbError::exception("kapow"));
+                }
+                Ok(Value::Seq(args))
+            }),
+        )
+        .unwrap();
+        let endpoint = orb.listen_tcp("127.0.0.1:0").unwrap();
+        (orb, endpoint)
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let (_server, endpoint) = echo_orb("t-tcp-server");
+        let client = Orb::new("t-tcp-client");
+        let target = crate::ObjRef::new(endpoint, "echo", "Echo");
+        let out = client
+            .invoke_ref(&target, "echo", vec![Value::from(1i64), Value::from("x")])
+            .unwrap();
+        assert_eq!(out, Value::Seq(vec![Value::from(1i64), Value::from("x")]));
+    }
+
+    #[test]
+    fn tcp_remote_exception() {
+        let (_server, endpoint) = echo_orb("t-tcp-exc");
+        let client = Orb::new("t-tcp-exc-client");
+        let target = crate::ObjRef::new(endpoint, "echo", "Echo");
+        let err = client.invoke_ref(&target, "boom", vec![]).unwrap_err();
+        assert!(matches!(err, OrbError::RemoteException { message } if message.contains("kapow")));
+    }
+
+    #[test]
+    fn tcp_oneway_is_served() {
+        let (server, endpoint) = echo_orb("t-tcp-oneway");
+        let client = Orb::new("t-tcp-oneway-client");
+        let target = crate::ObjRef::new(endpoint, "echo", "Echo");
+        client.invoke_oneway_ref(&target, "echo", vec![]).unwrap();
+        for _ in 0..300 {
+            if server.stats().requests_served >= 1 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("oneway never served over tcp");
+    }
+
+    #[test]
+    fn tcp_connection_is_pooled_and_reused() {
+        let (_server, endpoint) = echo_orb("t-tcp-pool");
+        let client = Orb::new("t-tcp-pool-client");
+        let target = crate::ObjRef::new(endpoint, "echo", "Echo");
+        for i in 0..10i64 {
+            let out = client
+                .invoke_ref(&target, "echo", vec![Value::from(i)])
+                .unwrap();
+            assert_eq!(out, Value::Seq(vec![Value::from(i)]));
+        }
+    }
+
+    #[test]
+    fn connect_to_dead_endpoint_fails() {
+        let client = Orb::new("t-tcp-dead-client");
+        let target = crate::ObjRef::new("tcp://127.0.0.1:1", "echo", "Echo");
+        assert!(matches!(
+            client.invoke_ref(&target, "echo", vec![]),
+            Err(OrbError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn server_survives_garbage_frames() {
+        let (_server, endpoint) = echo_orb("t-tcp-garbage");
+        let addr = endpoint.strip_prefix("tcp://").unwrap();
+        // Throw garbage at the server on one connection…
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(&7u32.to_le_bytes()).unwrap();
+        bad.write_all(b"garbage").unwrap();
+        // …and check a well-behaved client still gets service.
+        let client = Orb::new("t-tcp-garbage-client");
+        let target = crate::ObjRef::new(endpoint, "echo", "Echo");
+        let out = client.invoke_ref(&target, "echo", vec![]).unwrap();
+        assert_eq!(out, Value::Seq(vec![]));
+    }
+}

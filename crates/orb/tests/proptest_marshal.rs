@@ -1,0 +1,115 @@
+//! Property tests for the wire codec: every value round-trips, and the
+//! decoder is total (never panics) on arbitrary bytes.
+
+use adapta_idl::{ObjRefData, Value};
+use adapta_orb::{decode_value, encode_value, Message, ReplyBody, RequestBody};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+/// A strategy generating arbitrary well-formed wire values, including
+/// nested containers.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Long),
+        any::<f64>().prop_map(Value::Double),
+        ".{0,32}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| Value::Bytes(Bytes::from(b))),
+        ("[a-z:/.0-9]{0,16}", "[a-z0-9-]{0,12}", "[A-Za-z]{0,12}").prop_map(
+            |(endpoint, key, type_id)| Value::ObjRef(ObjRefData::new(endpoint, key, type_id))
+        ),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Seq),
+            proptest::collection::vec(("[a-z_]{0,8}", inner), 0..6).prop_map(Value::Map),
+        ]
+    })
+}
+
+/// Structural equality that treats NaN doubles as equal (the codec is
+/// bit-preserving but `PartialEq` on f64 is not reflexive for NaN).
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Double(x), Value::Double(y)) => {
+            (x.is_nan() && y.is_nan()) || x.to_bits() == y.to_bits() || x == y
+        }
+        (Value::Seq(x), Value::Seq(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| value_eq(a, b))
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && value_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_value_round_trips(v in value_strategy()) {
+        let encoded = encode_value(&v);
+        let decoded = decode_value(&encoded).expect("well-formed encoding decodes");
+        prop_assert!(value_eq(&v, &decoded), "{v:?} != {decoded:?}");
+    }
+
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must never panic; errors are fine.
+        let _ = decode_value(&bytes);
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(v in value_strategy(), cut in 0usize..64) {
+        let encoded = encode_value(&v);
+        let cut = cut.min(encoded.len());
+        let _ = decode_value(&encoded[..cut]);
+    }
+
+    #[test]
+    fn messages_round_trip(
+        id in any::<u64>(),
+        key in "[a-z0-9-]{0,16}",
+        op in "[a-zA-Z_]{1,16}",
+        args in proptest::collection::vec(value_strategy(), 0..4),
+        oneway in any::<bool>(),
+    ) {
+        let body = RequestBody { id, key, operation: op, args };
+        let msg = if oneway { Message::Oneway(body) } else { Message::Request(body) };
+        let decoded = Message::decode(&msg.encode()).expect("decodes");
+        match (&msg, &decoded) {
+            (Message::Request(a), Message::Request(b))
+            | (Message::Oneway(a), Message::Oneway(b)) => {
+                prop_assert_eq!(a.id, b.id);
+                prop_assert_eq!(&a.key, &b.key);
+                prop_assert_eq!(&a.operation, &b.operation);
+                prop_assert_eq!(a.args.len(), b.args.len());
+                for (x, y) in a.args.iter().zip(&b.args) {
+                    prop_assert!(value_eq(x, y));
+                }
+            }
+            _ => prop_assert!(false, "kind changed in transit"),
+        }
+    }
+
+    #[test]
+    fn replies_round_trip(id in any::<u64>(), ok in any::<bool>(), text in ".{0,48}") {
+        let outcome = if ok { Ok(Value::Str(text.clone())) } else { Err(text.clone()) };
+        let msg = Message::Reply(ReplyBody { id, outcome });
+        prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn objref_uri_round_trips(
+        endpoint in "[ -~]{0,24}",
+        key in "[ -~]{0,24}",
+        type_id in "[ -~]{0,24}",
+    ) {
+        let data = ObjRefData::new(endpoint, key, type_id);
+        prop_assert_eq!(ObjRefData::from_uri(&data.to_uri()), Some(data));
+    }
+}

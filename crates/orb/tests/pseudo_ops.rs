@@ -1,0 +1,73 @@
+//! The CORBA-style standard pseudo-operations, answered by the broker
+//! for every object: `_non_existent`, `_is_a`, `_interface`.
+
+use adapta_idl::Value;
+use adapta_orb::{ObjRef, Orb, ServantFn};
+
+fn orb_with_object() -> (Orb, ObjRef) {
+    let orb = Orb::new("pseudo-ops");
+    let objref = orb
+        .activate(
+            "obj",
+            ServantFn::new("EventMonitor", |_, _| Ok(Value::Null)),
+        )
+        .unwrap();
+    (orb, objref)
+}
+
+#[test]
+fn non_existent_pings_liveness() {
+    let (orb, objref) = orb_with_object();
+    let client = Orb::new("pseudo-ops-client");
+    let proxy = client.proxy(&objref);
+    assert_eq!(
+        proxy.invoke("_non_existent", vec![]).unwrap(),
+        Value::Bool(false)
+    );
+    orb.deactivate("obj");
+    assert_eq!(
+        proxy.invoke("_non_existent", vec![]).unwrap(),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn is_a_checks_the_servant_interface() {
+    let (_orb, objref) = orb_with_object();
+    let client = Orb::new("pseudo-ops-client2");
+    let proxy = client.proxy(&objref);
+    assert_eq!(
+        proxy
+            .invoke("_is_a", vec![Value::from("EventMonitor")])
+            .unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        proxy.invoke("_is_a", vec![Value::from("Trader")]).unwrap(),
+        Value::Bool(false)
+    );
+}
+
+#[test]
+fn interface_reports_the_repository_id() {
+    let (_orb, objref) = orb_with_object();
+    let client = Orb::new("pseudo-ops-client3");
+    assert_eq!(
+        client.proxy(&objref).invoke("_interface", vec![]).unwrap(),
+        Value::from("EventMonitor")
+    );
+}
+
+#[test]
+fn pseudo_ops_on_missing_objects() {
+    let (orb, _objref) = orb_with_object();
+    let client = Orb::new("pseudo-ops-client4");
+    let ghost = ObjRef::new(orb.endpoint(), "ghost", "X");
+    let proxy = client.proxy(&ghost);
+    assert_eq!(
+        proxy.invoke("_non_existent", vec![]).unwrap(),
+        Value::Bool(true)
+    );
+    assert!(proxy.invoke("_is_a", vec![Value::from("X")]).is_err());
+    assert!(proxy.invoke("_interface", vec![]).is_err());
+}

@@ -1,0 +1,113 @@
+//! Error reporting for Rua programs.
+
+use std::error::Error;
+use std::fmt;
+
+/// What stage produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuaErrorKind {
+    /// Lexing or parsing failed.
+    Parse,
+    /// Execution failed (type error, explicit `error(...)`, …).
+    Runtime,
+    /// The configured instruction budget was exhausted — the embedder's
+    /// defence against runaway remotely-supplied code.
+    BudgetExhausted,
+}
+
+/// An error raised while compiling or running Rua code.
+///
+/// Errors carry the 1-based source line where they arose (0 when the
+/// location is unknown, e.g. inside a native function).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuaError {
+    kind: RuaErrorKind,
+    message: String,
+    line: usize,
+}
+
+impl RuaError {
+    /// Creates a parse-stage error.
+    pub fn parse(message: impl Into<String>, line: usize) -> Self {
+        RuaError {
+            kind: RuaErrorKind::Parse,
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Creates a runtime error.
+    pub fn runtime(message: impl Into<String>, line: usize) -> Self {
+        RuaError {
+            kind: RuaErrorKind::Runtime,
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Creates a budget-exhaustion error.
+    pub fn budget(line: usize) -> Self {
+        RuaError {
+            kind: RuaErrorKind::BudgetExhausted,
+            message: "instruction budget exhausted".into(),
+            line,
+        }
+    }
+
+    /// The error's stage.
+    pub fn kind(&self) -> RuaErrorKind {
+        self.kind
+    }
+
+    /// The message without location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line (0 when unknown).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for RuaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            RuaErrorKind::Parse => "parse",
+            RuaErrorKind::Runtime => "runtime",
+            RuaErrorKind::BudgetExhausted => "budget",
+        };
+        if self.line > 0 {
+            write!(
+                f,
+                "rua {stage} error at line {}: {}",
+                self.line, self.message
+            )
+        } else {
+            write!(f, "rua {stage} error: {}", self.message)
+        }
+    }
+}
+
+impl Error for RuaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_line() {
+        let e = RuaError::parse("unexpected `end`", 4);
+        assert_eq!(e.to_string(), "rua parse error at line 4: unexpected `end`");
+        let e = RuaError::runtime("boom", 0);
+        assert_eq!(e.to_string(), "rua runtime error: boom");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = RuaError::budget(9);
+        assert_eq!(e.kind(), RuaErrorKind::BudgetExhausted);
+        assert_eq!(e.line(), 9);
+        assert_eq!(e.message(), "instruction budget exhausted");
+    }
+}

@@ -1,0 +1,79 @@
+//! # Rua — a small, embeddable, Lua-like interpreted language
+//!
+//! The paper's infrastructure leans on Lua for everything dynamic:
+//! adaptation strategies, aspect-update functions and event-diagnosing
+//! predicates are *strings of interpreted code* created at run time,
+//! shipped across the network (the remote-evaluation paradigm) and
+//! installed into live components. `adapta-script` provides that
+//! capability from scratch: a dynamically-typed language with Lua's
+//! surface syntax — tables, closures, `obj:method()` sugar, `[[long
+//! strings]]`, multiple assignment and multiple return values — and a
+//! host API in the spirit of the Lua/C API.
+//!
+//! The paper's code listings (Figures 3, 4 and 7) run unmodified as Rua
+//! programs; see the `figures` integration tests of the workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use adapta_script::{Interpreter, Value};
+//!
+//! let mut rua = Interpreter::new();
+//! rua.set_global("limit", Value::from(50.0));
+//! let out = rua.eval(r#"
+//!     local mon = { load = 70 }
+//!     function mon:overloaded() return self.load > limit end
+//!     return mon:overloaded()
+//! "#).unwrap();
+//! assert_eq!(out, vec![Value::Bool(true)]);
+//! ```
+//!
+//! ## Embedding
+//!
+//! Hosts register native functions with
+//! [`Interpreter::register`] and exchange [`Value`]s. Each
+//! [`Interpreter`] is single-threaded (like a Lua state); the
+//! `adapta-core` crate shows how to host one behind a channel to serve
+//! concurrent remote requests.
+//!
+//! ## Differences from Lua
+//!
+//! Rua implements the subset the paper's listings exercise, plus the
+//! conveniences a middleware host needs. Deliberate differences:
+//!
+//! * **no metatables / tag methods** — method dispatch is plain table
+//!   lookup; remote proxies get *generated* method entries instead of
+//!   an `__index` hook (see `adapta-core::script_env`);
+//! * **deterministic `pairs` order** (sorted keys) so remotely shipped
+//!   code behaves identically on every run;
+//! * **no coroutines**, no `goto`, no pattern matching in `string.find`
+//!   (plain substring search only) and a minimal `string.format`;
+//! * **table keys** are booleans, numbers and strings — tables and
+//!   functions cannot key (identity semantics are not supported);
+//! * an **instruction budget** ([`Interpreter::set_budget`]) and a
+//!   fixed call-depth limit defend the host against runaway remote
+//!   code — plain Lua has neither;
+//! * `readfrom`/`read` (Lua 4 style, used by the paper's Figure 3) read
+//!   from a host-pluggable [`Interpreter::set_reader`] instead of the
+//!   real filesystem.
+//!
+//! Supported and tested: closures with upvalue capture, multiple
+//! assignment/returns, varargs (`...`, `select`), numeric/generic
+//! `for`, `repeat`/`until`, method-call sugar, `[[long strings]]`,
+//! `pcall`/`error`, and the `math`/`string`/`table`/`os` libraries'
+//! common entry points.
+
+mod ast;
+mod error;
+mod interp;
+mod lexer;
+mod parser;
+mod stdlib;
+mod value;
+
+pub use error::{RuaError, RuaErrorKind};
+pub use interp::{Interpreter, NativeFn};
+pub use value::{Table, Value};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RuaError>;

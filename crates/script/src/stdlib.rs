@@ -1,0 +1,1039 @@
+//! The Rua standard library.
+//!
+//! A pragmatic subset of Lua's: base functions (`print`, `type`,
+//! `tostring`, `tonumber`, `pairs`, `ipairs`, `next`, `unpack`, `error`,
+//! `assert`, `pcall`), `math`, `string` (plain-text `find`, no
+//! patterns), `table`, `os.clock`/`os.time` (backed by the host clock),
+//! and the `readfrom`/`read` input functions the paper's Figure 3 uses
+//! to sample `/proc/loadavg` (backed by a host-pluggable reader).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::RuaError;
+use crate::interp::Interpreter;
+use crate::value::{Table, Value};
+use crate::Result;
+
+fn err(message: impl Into<String>) -> RuaError {
+    RuaError::runtime(message, 0)
+}
+
+fn arg(args: &[Value], i: usize) -> Value {
+    args.get(i).cloned().unwrap_or(Value::Nil)
+}
+
+fn num_arg(args: &[Value], i: usize, what: &str) -> Result<f64> {
+    arg(args, i).coerce_num().ok_or_else(|| {
+        err(format!(
+            "bad argument #{} to {what} (number expected)",
+            i + 1
+        ))
+    })
+}
+
+fn str_arg(args: &[Value], i: usize, what: &str) -> Result<Rc<str>> {
+    match arg(args, i) {
+        Value::Str(s) => Ok(s),
+        Value::Num(n) => Ok(Rc::from(crate::value::fmt_number(n).as_str())),
+        other => Err(err(format!(
+            "bad argument #{} to {what} (string expected, got {})",
+            i + 1,
+            other.type_name()
+        ))),
+    }
+}
+
+fn table_arg(args: &[Value], i: usize, what: &str) -> Result<Rc<RefCell<Table>>> {
+    match arg(args, i) {
+        Value::Table(t) => Ok(t),
+        other => Err(err(format!(
+            "bad argument #{} to {what} (table expected, got {})",
+            i + 1,
+            other.type_name()
+        ))),
+    }
+}
+
+/// Installs the standard library into an interpreter's globals.
+pub fn install(interp: &mut Interpreter) {
+    base(interp);
+    math_lib(interp);
+    string_lib(interp);
+    table_lib(interp);
+    os_lib(interp);
+    io_like(interp);
+}
+
+fn base(interp: &mut Interpreter) {
+    interp.register("print", |interp, args| {
+        let line = args
+            .iter()
+            .map(Value::to_display_string)
+            .collect::<Vec<_>>()
+            .join("\t");
+        match &mut interp.printed {
+            Some(captured) => captured.push(line),
+            None => println!("{line}"),
+        }
+        Ok(vec![])
+    });
+
+    interp.register("type", |_, args| {
+        Ok(vec![Value::str(arg(&args, 0).type_name())])
+    });
+
+    interp.register("tostring", |_, args| {
+        Ok(vec![Value::str(arg(&args, 0).to_display_string())])
+    });
+
+    interp.register("tonumber", |_, args| {
+        let v = arg(&args, 0);
+        let result = match args.get(1).and_then(Value::as_num) {
+            Some(base) => {
+                let base = base as u32;
+                v.as_str()
+                    .and_then(|s| i64::from_str_radix(s.trim(), base).ok())
+                    .map(|n| n as f64)
+            }
+            None => v.coerce_num(),
+        };
+        Ok(vec![result.map(Value::Num).unwrap_or(Value::Nil)])
+    });
+
+    interp.register("error", |_, args| {
+        Err(err(arg(&args, 0).to_display_string()))
+    });
+
+    interp.register("assert", |_, args| {
+        if arg(&args, 0).truthy() {
+            Ok(args)
+        } else {
+            let msg = match arg(&args, 1) {
+                Value::Nil => "assertion failed!".to_owned(),
+                other => other.to_display_string(),
+            };
+            Err(err(msg))
+        }
+    });
+
+    interp.register("pcall", |interp, mut args| {
+        if args.is_empty() {
+            return Err(err("bad argument #1 to pcall (value expected)"));
+        }
+        let f = args.remove(0);
+        match interp.call_value(&f, args) {
+            Ok(mut values) => {
+                let mut out = vec![Value::Bool(true)];
+                out.append(&mut values);
+                Ok(out)
+            }
+            Err(e) => Ok(vec![Value::Bool(false), Value::str(e.message())]),
+        }
+    });
+
+    interp.register("next", |_, args| {
+        let t = table_arg(&args, 0, "next")?;
+        let key = arg(&args, 1);
+        let key = if key == Value::Nil { None } else { Some(key) };
+        let entry = t.borrow().next_after(key.as_ref());
+        match entry {
+            Some((k, v)) => Ok(vec![k, v]),
+            None => Ok(vec![Value::Nil]),
+        }
+    });
+
+    interp.register("pairs", |interp, args| {
+        let t = table_arg(&args, 0, "pairs")?;
+        let next = interp.global("next");
+        Ok(vec![next, Value::Table(t), Value::Nil])
+    });
+
+    interp.register("ipairs", |_, args| {
+        let t = table_arg(&args, 0, "ipairs")?;
+        let iter = Interpreter::native("ipairs_iter", |_, args| {
+            let t = table_arg(&args, 0, "ipairs iterator")?;
+            let i = num_arg(&args, 1, "ipairs iterator")? as i64 + 1;
+            let v = t.borrow().get(&Value::Num(i as f64));
+            if v == Value::Nil {
+                Ok(vec![Value::Nil])
+            } else {
+                Ok(vec![Value::Num(i as f64), v])
+            }
+        });
+        Ok(vec![iter, Value::Table(t), Value::Num(0.0)])
+    });
+
+    interp.register("select", |_, args| match args.first() {
+        Some(Value::Str(s)) if &**s == "#" => {
+            Ok(vec![Value::Num(args.len().saturating_sub(1) as f64)])
+        }
+        Some(v) => {
+            let n = v
+                .coerce_num()
+                .ok_or_else(|| err("bad argument #1 to select (number or '#')"))?;
+            if n < 1.0 {
+                return Err(err("bad argument #1 to select (index out of range)"));
+            }
+            Ok(args.into_iter().skip(n as usize).collect())
+        }
+        None => Err(err("bad argument #1 to select (value expected)")),
+    });
+
+    interp.register("unpack", |_, args| {
+        let t = table_arg(&args, 0, "unpack")?;
+        let t = t.borrow();
+        Ok((1..=t.len())
+            .map(|i| t.get(&Value::Num(i as f64)))
+            .collect())
+    });
+
+    interp.register("rawget", |_, args| {
+        let t = table_arg(&args, 0, "rawget")?;
+        let v = t.borrow().get(&arg(&args, 1));
+        Ok(vec![v])
+    });
+
+    interp.register("rawset", |_, args| {
+        let t = table_arg(&args, 0, "rawset")?;
+        t.borrow_mut()
+            .set(arg(&args, 1), arg(&args, 2))
+            .map_err(err)?;
+        Ok(vec![Value::Table(t)])
+    });
+
+    // Expose the globals table itself, Lua-style.
+    let globals = interp.globals();
+    interp.set_global("_G", Value::Table(globals));
+}
+
+fn new_table(entries: Vec<(&str, Value)>) -> Value {
+    let mut t = Table::new();
+    for (k, v) in entries {
+        t.set_str(k, v);
+    }
+    Value::Table(Rc::new(RefCell::new(t)))
+}
+
+fn math_lib(interp: &mut Interpreter) {
+    let n = |name: &str, f: fn(f64) -> f64| {
+        let what = name.to_owned();
+        Interpreter::native(name, move |_, args| {
+            Ok(vec![Value::Num(f(num_arg(&args, 0, &what)?))])
+        })
+    };
+    let math = new_table(vec![
+        ("floor", n("math.floor", f64::floor)),
+        ("ceil", n("math.ceil", f64::ceil)),
+        ("abs", n("math.abs", f64::abs)),
+        ("sqrt", n("math.sqrt", f64::sqrt)),
+        ("exp", n("math.exp", f64::exp)),
+        ("log", n("math.log", f64::ln)),
+        ("sin", n("math.sin", f64::sin)),
+        ("cos", n("math.cos", f64::cos)),
+        ("huge", Value::Num(f64::INFINITY)),
+        ("pi", Value::Num(std::f64::consts::PI)),
+        (
+            "max",
+            Interpreter::native("math.max", |_, args| {
+                let mut best = num_arg(&args, 0, "math.max")?;
+                for i in 1..args.len() {
+                    best = best.max(num_arg(&args, i, "math.max")?);
+                }
+                Ok(vec![Value::Num(best)])
+            }),
+        ),
+        (
+            "min",
+            Interpreter::native("math.min", |_, args| {
+                let mut best = num_arg(&args, 0, "math.min")?;
+                for i in 1..args.len() {
+                    best = best.min(num_arg(&args, i, "math.min")?);
+                }
+                Ok(vec![Value::Num(best)])
+            }),
+        ),
+        (
+            "fmod",
+            Interpreter::native("math.fmod", |_, args| {
+                let a = num_arg(&args, 0, "math.fmod")?;
+                let b = num_arg(&args, 1, "math.fmod")?;
+                Ok(vec![Value::Num(a % b)])
+            }),
+        ),
+        (
+            "random",
+            Interpreter::native("math.random", |interp, args| {
+                // xorshift64*: deterministic and seedable.
+                let mut x = interp.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                interp.rng_state = x;
+                let unit =
+                    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                let v = match args.len() {
+                    0 => Value::Num(unit),
+                    1 => {
+                        let m = num_arg(&args, 0, "math.random")?;
+                        Value::Num((unit * m).floor() + 1.0)
+                    }
+                    _ => {
+                        let lo = num_arg(&args, 0, "math.random")?;
+                        let hi = num_arg(&args, 1, "math.random")?;
+                        Value::Num(lo + (unit * (hi - lo + 1.0)).floor())
+                    }
+                };
+                Ok(vec![v])
+            }),
+        ),
+        (
+            "randomseed",
+            Interpreter::native("math.randomseed", |interp, args| {
+                let seed = num_arg(&args, 0, "math.randomseed")? as i64 as u64;
+                interp.rng_state = seed | 1;
+                Ok(vec![])
+            }),
+        ),
+    ]);
+    interp.set_global("math", math);
+}
+
+/// Converts a Lua 1-based (possibly negative) index into a 0-based Rust
+/// offset over a string of length `len`.
+fn str_index(i: f64, len: usize) -> usize {
+    if i >= 1.0 {
+        (i as usize - 1).min(len)
+    } else if i < 0.0 {
+        len.saturating_sub((-i) as usize)
+    } else {
+        0
+    }
+}
+
+fn string_lib(interp: &mut Interpreter) {
+    let string = new_table(vec![
+        (
+            "len",
+            Interpreter::native("string.len", |_, args| {
+                Ok(vec![Value::Num(
+                    str_arg(&args, 0, "string.len")?.len() as f64
+                )])
+            }),
+        ),
+        (
+            "upper",
+            Interpreter::native("string.upper", |_, args| {
+                Ok(vec![Value::str(
+                    str_arg(&args, 0, "string.upper")?.to_uppercase(),
+                )])
+            }),
+        ),
+        (
+            "lower",
+            Interpreter::native("string.lower", |_, args| {
+                Ok(vec![Value::str(
+                    str_arg(&args, 0, "string.lower")?.to_lowercase(),
+                )])
+            }),
+        ),
+        (
+            "rep",
+            Interpreter::native("string.rep", |_, args| {
+                let s = str_arg(&args, 0, "string.rep")?;
+                let n = num_arg(&args, 1, "string.rep")?.max(0.0) as usize;
+                Ok(vec![Value::str(s.repeat(n))])
+            }),
+        ),
+        (
+            "sub",
+            Interpreter::native("string.sub", |_, args| {
+                let s = str_arg(&args, 0, "string.sub")?;
+                let len = s.len();
+                let i = str_index(num_arg(&args, 1, "string.sub")?, len);
+                let j = match args.get(2) {
+                    None | Some(Value::Nil) => len,
+                    Some(v) => {
+                        let j = v
+                            .coerce_num()
+                            .ok_or_else(|| err("bad argument #3 to string.sub"))?;
+                        if j >= 0.0 {
+                            (j as usize).min(len)
+                        } else {
+                            len.saturating_sub((-j) as usize - 1)
+                        }
+                    }
+                };
+                let out = if i < j { &s[i..j] } else { "" };
+                Ok(vec![Value::str(out)])
+            }),
+        ),
+        (
+            "find",
+            // Plain-text find (no Lua patterns): returns 1-based
+            // start, end or nil.
+            Interpreter::native("string.find", |_, args| {
+                let s = str_arg(&args, 0, "string.find")?;
+                let needle = str_arg(&args, 1, "string.find")?;
+                let init = args
+                    .get(2)
+                    .and_then(Value::as_num)
+                    .map(|i| str_index(i, s.len()))
+                    .unwrap_or(0);
+                match s.get(init..).and_then(|hay| hay.find(&*needle)) {
+                    Some(pos) => Ok(vec![
+                        Value::Num((init + pos + 1) as f64),
+                        Value::Num((init + pos + needle.len()) as f64),
+                    ]),
+                    None => Ok(vec![Value::Nil]),
+                }
+            }),
+        ),
+        (
+            "byte",
+            Interpreter::native("string.byte", |_, args| {
+                let s = str_arg(&args, 0, "string.byte")?;
+                let i = args.get(1).and_then(Value::as_num).unwrap_or(1.0);
+                let idx = str_index(i, s.len());
+                Ok(vec![s
+                    .as_bytes()
+                    .get(idx)
+                    .map(|b| Value::Num(*b as f64))
+                    .unwrap_or(Value::Nil)])
+            }),
+        ),
+        (
+            "char",
+            Interpreter::native("string.char", |_, args| {
+                let mut out = String::new();
+                for i in 0..args.len() {
+                    out.push(num_arg(&args, i, "string.char")? as u8 as char);
+                }
+                Ok(vec![Value::str(out)])
+            }),
+        ),
+        (
+            "format",
+            Interpreter::native("string.format", |_, args| {
+                let fmt = str_arg(&args, 0, "string.format")?;
+                Ok(vec![Value::str(format_impl(&fmt, &args[1..])?)])
+            }),
+        ),
+    ]);
+    interp.set_global("string", string);
+}
+
+/// A minimal `string.format`: `%d %i %s %q %f %.Nf %g %x %%`.
+fn format_impl(fmt: &str, args: &[Value]) -> Result<String> {
+    let mut out = String::new();
+    let mut chars = fmt.chars().peekable();
+    let mut next = 0usize;
+    let take = |next: &mut usize| -> Value {
+        let v = args.get(*next).cloned().unwrap_or(Value::Nil);
+        *next += 1;
+        v
+    };
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        // Optional precision like `%.2f`.
+        let mut precision: Option<usize> = None;
+        if chars.peek() == Some(&'.') {
+            chars.next();
+            let mut digits = String::new();
+            while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                digits.push(chars.next().expect("digit"));
+            }
+            precision = digits.parse().ok();
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('d') | Some('i') => {
+                let v = take(&mut next);
+                let n = v
+                    .coerce_num()
+                    .ok_or_else(|| err("bad argument to string.format %d"))?;
+                out.push_str(&format!("{}", n as i64));
+            }
+            Some('f') => {
+                let v = take(&mut next);
+                let n = v
+                    .coerce_num()
+                    .ok_or_else(|| err("bad argument to string.format %f"))?;
+                out.push_str(&format!("{:.*}", precision.unwrap_or(6), n));
+            }
+            Some('g') => {
+                let v = take(&mut next);
+                let n = v
+                    .coerce_num()
+                    .ok_or_else(|| err("bad argument to string.format %g"))?;
+                out.push_str(&crate::value::fmt_number(n));
+            }
+            Some('x') => {
+                let v = take(&mut next);
+                let n = v
+                    .coerce_num()
+                    .ok_or_else(|| err("bad argument to string.format %x"))?;
+                out.push_str(&format!("{:x}", n as i64));
+            }
+            Some('s') => {
+                let v = take(&mut next);
+                out.push_str(&v.to_display_string());
+            }
+            Some('q') => {
+                let v = take(&mut next);
+                out.push_str(&format!("{:?}", v.to_display_string()));
+            }
+            other => {
+                return Err(err(format!(
+                    "unsupported string.format directive %{}",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn table_lib(interp: &mut Interpreter) {
+    let table = new_table(vec![
+        (
+            "insert",
+            Interpreter::native("table.insert", |_, args| {
+                let t = table_arg(&args, 0, "table.insert")?;
+                match args.len() {
+                    0 | 1 => Err(err("wrong number of arguments to table.insert")),
+                    2 => {
+                        t.borrow_mut().push(arg(&args, 1));
+                        Ok(vec![])
+                    }
+                    _ => {
+                        // insert(t, pos, value): shift the array part up.
+                        let pos = num_arg(&args, 1, "table.insert")? as i64;
+                        let value = arg(&args, 2);
+                        let mut tb = t.borrow_mut();
+                        let len = tb.len() as i64;
+                        let mut i = len;
+                        while i >= pos {
+                            let v = tb.get(&Value::Num(i as f64));
+                            tb.set(Value::Num((i + 1) as f64), v).map_err(err)?;
+                            i -= 1;
+                        }
+                        tb.set(Value::Num(pos as f64), value).map_err(err)?;
+                        Ok(vec![])
+                    }
+                }
+            }),
+        ),
+        (
+            "remove",
+            Interpreter::native("table.remove", |_, args| {
+                let t = table_arg(&args, 0, "table.remove")?;
+                let mut tb = t.borrow_mut();
+                let len = tb.len() as i64;
+                if len == 0 {
+                    return Ok(vec![Value::Nil]);
+                }
+                let pos = args
+                    .get(1)
+                    .and_then(Value::as_num)
+                    .map(|n| n as i64)
+                    .unwrap_or(len);
+                let removed = tb.get(&Value::Num(pos as f64));
+                let mut i = pos;
+                while i < len {
+                    let v = tb.get(&Value::Num((i + 1) as f64));
+                    tb.set(Value::Num(i as f64), v).map_err(err)?;
+                    i += 1;
+                }
+                tb.set(Value::Num(len as f64), Value::Nil).map_err(err)?;
+                Ok(vec![removed])
+            }),
+        ),
+        (
+            "concat",
+            Interpreter::native("table.concat", |_, args| {
+                let t = table_arg(&args, 0, "table.concat")?;
+                let sep = match arg(&args, 1) {
+                    Value::Nil => String::new(),
+                    v => v.to_display_string(),
+                };
+                let tb = t.borrow();
+                let parts: Vec<String> = (1..=tb.len())
+                    .map(|i| tb.get(&Value::Num(i as f64)).to_display_string())
+                    .collect();
+                Ok(vec![Value::str(parts.join(&sep))])
+            }),
+        ),
+        (
+            "getn",
+            Interpreter::native("table.getn", |_, args| {
+                let t = table_arg(&args, 0, "table.getn")?;
+                let n = t.borrow().len();
+                Ok(vec![Value::Num(n as f64)])
+            }),
+        ),
+        (
+            "sort",
+            Interpreter::native("table.sort", |interp, args| {
+                let t = table_arg(&args, 0, "table.sort")?;
+                let cmp = arg(&args, 1);
+                let len = t.borrow().len();
+                let mut items: Vec<Value> = {
+                    let tb = t.borrow();
+                    (1..=len).map(|i| tb.get(&Value::Num(i as f64))).collect()
+                };
+                // Insertion sort so comparator errors propagate cleanly.
+                for i in 1..items.len() {
+                    let mut j = i;
+                    while j > 0 {
+                        let less = match &cmp {
+                            Value::Nil => default_lt(&items[j], &items[j - 1])?,
+                            f => interp
+                                .call_value(f, vec![items[j].clone(), items[j - 1].clone()])?
+                                .first()
+                                .map(Value::truthy)
+                                .unwrap_or(false),
+                        };
+                        if !less {
+                            break;
+                        }
+                        items.swap(j, j - 1);
+                        j -= 1;
+                    }
+                }
+                let mut tb = t.borrow_mut();
+                for (i, v) in items.into_iter().enumerate() {
+                    tb.set(Value::Num((i + 1) as f64), v).map_err(err)?;
+                }
+                Ok(vec![])
+            }),
+        ),
+        (
+            "foreach",
+            Interpreter::native("table.foreach", |interp, args| {
+                let t = table_arg(&args, 0, "table.foreach")?;
+                let f = arg(&args, 1);
+                let entries: Vec<(Value, Value)> = t.borrow().iter().collect();
+                for (k, v) in entries {
+                    let out = interp.call_value(&f, vec![k, v])?;
+                    if let Some(v) = out.first() {
+                        if *v != Value::Nil {
+                            return Ok(vec![v.clone()]);
+                        }
+                    }
+                }
+                Ok(vec![])
+            }),
+        ),
+    ]);
+    interp.set_global("table", table);
+}
+
+fn default_lt(a: &Value, b: &Value) -> Result<bool> {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => Ok(x < y),
+        (Value::Str(x), Value::Str(y)) => Ok(x < y),
+        _ => Err(err(format!(
+            "attempt to compare {} with {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+fn os_lib(interp: &mut Interpreter) {
+    let os = new_table(vec![
+        (
+            "clock",
+            Interpreter::native("os.clock", |interp, _| {
+                let t = interp.clock.as_ref().map(|c| c()).unwrap_or(0.0);
+                Ok(vec![Value::Num(t)])
+            }),
+        ),
+        (
+            "time",
+            Interpreter::native("os.time", |interp, _| {
+                let t = interp.clock.as_ref().map(|c| c()).unwrap_or(0.0);
+                Ok(vec![Value::Num(t.floor())])
+            }),
+        ),
+    ]);
+    interp.set_global("os", os);
+}
+
+/// `readfrom`/`read` — the Lua 4 style input API the paper's LoadAverage
+/// monitor uses (Figure 3). `readfrom(path)` opens a host-provided
+/// source, `read("*n")` pulls a number, `readfrom()` closes.
+fn io_like(interp: &mut Interpreter) {
+    interp.register("readfrom", |interp, args| match args.first() {
+        None | Some(Value::Nil) => {
+            interp.input = None;
+            Ok(vec![])
+        }
+        Some(Value::Str(path)) => match interp.reader.clone() {
+            Some(reader) => match reader(path) {
+                Some(content) => {
+                    interp.input = Some((content, 0));
+                    Ok(vec![Value::str(&**path)])
+                }
+                None => Ok(vec![Value::Nil, Value::str(format!("cannot open {path}"))]),
+            },
+            None => Ok(vec![
+                Value::Nil,
+                Value::str("no reader installed in this host"),
+            ]),
+        },
+        Some(other) => Err(err(format!(
+            "bad argument #1 to readfrom (string expected, got {})",
+            other.type_name()
+        ))),
+    });
+
+    interp.register("read", |interp, args| {
+        let formats: Vec<String> = if args.is_empty() {
+            vec!["*l".to_owned()]
+        } else {
+            args.iter().map(Value::to_display_string).collect()
+        };
+        let mut out = Vec::new();
+        for f in formats {
+            let v = match f.as_str() {
+                "*n" => read_number(interp),
+                "*l" => read_line(interp),
+                "*a" => read_all(interp),
+                "*w" => read_word(interp),
+                other => return Err(err(format!("unsupported read format `{other}`"))),
+            };
+            out.push(v);
+        }
+        Ok(out)
+    });
+}
+
+fn read_number(interp: &mut Interpreter) -> Value {
+    let Some((content, pos)) = &mut interp.input else {
+        return Value::Nil;
+    };
+    let rest = &content[*pos..];
+    let skipped = rest.len() - rest.trim_start().len();
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    match rest[..end].parse::<f64>() {
+        Ok(n) => {
+            *pos += skipped + end;
+            Value::Num(n)
+        }
+        Err(_) => Value::Nil,
+    }
+}
+
+fn read_line(interp: &mut Interpreter) -> Value {
+    let Some((content, pos)) = &mut interp.input else {
+        return Value::Nil;
+    };
+    if *pos >= content.len() {
+        return Value::Nil;
+    }
+    let rest = &content[*pos..];
+    match rest.find('\n') {
+        Some(n) => {
+            let line = &rest[..n];
+            *pos += n + 1;
+            Value::str(line)
+        }
+        None => {
+            let line = rest.to_owned();
+            *pos = content.len();
+            Value::str(line)
+        }
+    }
+}
+
+fn read_all(interp: &mut Interpreter) -> Value {
+    let Some((content, pos)) = &mut interp.input else {
+        return Value::Nil;
+    };
+    let rest = content[*pos..].to_owned();
+    *pos = content.len();
+    Value::str(rest)
+}
+
+fn read_word(interp: &mut Interpreter) -> Value {
+    let Some((content, pos)) = &mut interp.input else {
+        return Value::Nil;
+    };
+    let rest = &content[*pos..];
+    let skipped = rest.len() - rest.trim_start().len();
+    let rest = rest.trim_start();
+    if rest.is_empty() {
+        return Value::Nil;
+    }
+    let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
+    let word = rest[..end].to_owned();
+    *pos += skipped + end;
+    Value::str(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval1(src: &str) -> Value {
+        Interpreter::new()
+            .eval(src)
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap_or(Value::Nil)
+    }
+
+    #[test]
+    fn type_tostring_tonumber() {
+        assert_eq!(eval1("return type({})"), Value::str("table"));
+        assert_eq!(eval1("return type(nil)"), Value::str("nil"));
+        assert_eq!(eval1("return tostring(1.5)"), Value::str("1.5"));
+        assert_eq!(eval1("return tostring(nil)"), Value::str("nil"));
+        assert_eq!(eval1("return tonumber('  42 ')"), Value::Num(42.0));
+        assert_eq!(eval1("return tonumber('ff', 16)"), Value::Num(255.0));
+        assert_eq!(eval1("return tonumber('zz')"), Value::Nil);
+    }
+
+    #[test]
+    fn print_capture() {
+        let mut rua = Interpreter::new();
+        rua.capture_print();
+        rua.eval("print('a', 1, nil)").unwrap();
+        assert_eq!(rua.take_printed(), vec!["a\t1\tnil"]);
+        assert!(rua.take_printed().is_empty());
+    }
+
+    #[test]
+    fn error_and_pcall() {
+        assert_eq!(
+            eval1("local ok, msg = pcall(function() error('boom') end) return msg"),
+            Value::str("boom")
+        );
+        assert_eq!(
+            eval1("local ok = pcall(function() return 1 end) return ok"),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval1("local ok, a, b = pcall(function() return 1, 2 end) return b"),
+            Value::Num(2.0)
+        );
+    }
+
+    #[test]
+    fn assert_passes_values_through() {
+        assert_eq!(eval1("return assert(5)"), Value::Num(5.0));
+        assert!(Interpreter::new()
+            .eval("assert(false, 'nope')")
+            .unwrap_err()
+            .to_string()
+            .contains("nope"));
+    }
+
+    #[test]
+    fn pairs_iterates_everything() {
+        let v = eval1(
+            r#"
+            local t = {x = 1, y = 2, 10, 20}
+            local count, sum = 0, 0
+            for k, v in pairs(t) do count = count + 1 sum = sum + v end
+            return count * 100 + sum
+        "#,
+        );
+        assert_eq!(v, Value::Num(433.0));
+    }
+
+    #[test]
+    fn ipairs_stops_at_gap() {
+        let v = eval1(
+            r#"
+            local t = {1, 2, 3}
+            t[5] = 99
+            local sum = 0
+            for i, v in ipairs(t) do sum = sum + v end
+            return sum
+        "#,
+        );
+        assert_eq!(v, Value::Num(6.0));
+    }
+
+    #[test]
+    fn unpack_expands() {
+        let out = Interpreter::new().eval("return unpack({7, 8, 9})").unwrap();
+        assert_eq!(out, vec![Value::Num(7.0), Value::Num(8.0), Value::Num(9.0)]);
+    }
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(eval1("return math.floor(2.9)"), Value::Num(2.0));
+        assert_eq!(eval1("return math.max(1, 5, 3)"), Value::Num(5.0));
+        assert_eq!(eval1("return math.min(4, 2)"), Value::Num(2.0));
+        assert_eq!(eval1("return math.sqrt(9)"), Value::Num(3.0));
+        assert_eq!(eval1("return math.abs(-3)"), Value::Num(3.0));
+        assert!(eval1("return math.huge").as_num().unwrap().is_infinite());
+    }
+
+    #[test]
+    fn math_random_is_seeded_and_in_range() {
+        let v = eval1(
+            r#"
+            math.randomseed(42)
+            for i = 1, 100 do
+                local r = math.random(1, 6)
+                if r < 1 or r > 6 then return false end
+            end
+            return true
+        "#,
+        );
+        assert_eq!(v, Value::Bool(true));
+        // Determinism across interpreters.
+        let a = eval1("math.randomseed(7) return math.random()");
+        let b = eval1("math.randomseed(7) return math.random()");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval1("return string.len('abc')"), Value::Num(3.0));
+        assert_eq!(eval1("return string.upper('ab')"), Value::str("AB"));
+        assert_eq!(eval1("return string.sub('hello', 2, 4)"), Value::str("ell"));
+        assert_eq!(eval1("return string.sub('hello', -3)"), Value::str("llo"));
+        assert_eq!(eval1("return string.rep('ab', 3)"), Value::str("ababab"));
+        assert_eq!(eval1("return string.find('hello', 'll')"), Value::Num(3.0));
+        assert_eq!(eval1("return string.find('hello', 'zz')"), Value::Nil);
+        assert_eq!(eval1("return string.char(104, 105)"), Value::str("hi"));
+        assert_eq!(eval1("return string.byte('A')"), Value::Num(65.0));
+    }
+
+    #[test]
+    fn string_format() {
+        assert_eq!(
+            eval1("return string.format('%d/%s = %.2f', 10, 'four', 2.5)"),
+            Value::str("10/four = 2.50")
+        );
+        assert_eq!(eval1("return string.format('100%%')"), Value::str("100%"));
+        assert_eq!(eval1("return string.format('%x', 255)"), Value::str("ff"));
+        assert_eq!(
+            eval1("return string.format('%q', 'a\"b')"),
+            Value::str("\"a\\\"b\"")
+        );
+    }
+
+    #[test]
+    fn table_insert_remove_concat() {
+        assert_eq!(
+            eval1("local t = {} table.insert(t, 'a') table.insert(t, 'b') return table.concat(t, ',')"),
+            Value::str("a,b")
+        );
+        assert_eq!(
+            eval1("local t = {'a', 'c'} table.insert(t, 2, 'b') return table.concat(t)"),
+            Value::str("abc")
+        );
+        assert_eq!(
+            eval1("local t = {'a', 'b', 'c'} local r = table.remove(t, 2) return r .. #t"),
+            Value::str("b2")
+        );
+        assert_eq!(eval1("return table.getn({1, 2, 3})"), Value::Num(3.0));
+    }
+
+    #[test]
+    fn table_sort_with_and_without_comparator() {
+        assert_eq!(
+            eval1("local t = {3, 1, 2} table.sort(t) return table.concat(t)"),
+            Value::str("123")
+        );
+        assert_eq!(
+            eval1(
+                "local t = {1, 3, 2} table.sort(t, function(a, b) return a > b end) return table.concat(t)"
+            ),
+            Value::str("321")
+        );
+    }
+
+    #[test]
+    fn readfrom_and_read_reproduce_fig3_input() {
+        let mut rua = Interpreter::new();
+        rua.set_reader(|path| {
+            (path == "/proc/loadavg").then(|| "0.52 0.41 0.30 1/123 4567".to_owned())
+        });
+        let out = rua
+            .eval(
+                r#"
+                readfrom("/proc/loadavg")
+                local nj1, nj5, nj15 = read("*n", "*n", "*n")
+                readfrom()
+                return nj1, nj5, nj15
+            "#,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![Value::Num(0.52), Value::Num(0.41), Value::Num(0.30)]
+        );
+    }
+
+    #[test]
+    fn readfrom_missing_file_returns_nil() {
+        let mut rua = Interpreter::new();
+        rua.set_reader(|_| None);
+        let out = rua
+            .eval("local f, e = readfrom('/nope') return f, e")
+            .unwrap();
+        assert_eq!(out[0], Value::Nil);
+        assert!(out[1].as_str().unwrap().contains("/nope"));
+    }
+
+    #[test]
+    fn read_without_open_source_is_nil() {
+        assert_eq!(eval1("return read('*n')"), Value::Nil);
+    }
+
+    #[test]
+    fn read_formats() {
+        let mut rua = Interpreter::new();
+        rua.set_reader(|_| Some("hello world\nsecond line".to_owned()));
+        let out = rua
+            .eval("readfrom('x') local w = read('*w') local l = read('*l') local a = read('*a') return w, l, a")
+            .unwrap();
+        assert_eq!(out[0], Value::str("hello"));
+        assert_eq!(out[1], Value::str(" world"));
+        assert_eq!(out[2], Value::str("second line"));
+    }
+
+    #[test]
+    fn os_clock_uses_host_clock() {
+        let mut rua = Interpreter::new();
+        rua.set_clock(|| 123.5);
+        assert_eq!(eval_with(&mut rua, "return os.clock()"), Value::Num(123.5));
+        assert_eq!(eval_with(&mut rua, "return os.time()"), Value::Num(123.0));
+    }
+
+    fn eval_with(rua: &mut Interpreter, src: &str) -> Value {
+        rua.eval(src)
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap_or(Value::Nil)
+    }
+
+    #[test]
+    fn globals_table_is_exposed() {
+        assert_eq!(eval1("x = 7 return _G.x"), Value::Num(7.0));
+    }
+
+    #[test]
+    fn rawget_rawset() {
+        assert_eq!(
+            eval1("local t = {} rawset(t, 'k', 3) return rawget(t, 'k')"),
+            Value::Num(3.0)
+        );
+    }
+}

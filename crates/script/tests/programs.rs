@@ -1,0 +1,216 @@
+//! Acceptance tests: realistic Rua programs of the kind adaptation
+//! strategies and service agents are written in.
+
+use adapta_script::{Interpreter, Value};
+
+fn run(src: &str) -> Vec<Value> {
+    Interpreter::new().eval(src).unwrap()
+}
+
+#[test]
+fn quicksort() {
+    let out = run(r#"
+        local function quicksort(t, lo, hi)
+            lo = lo or 1
+            hi = hi or #t
+            if lo < hi then
+                local pivot = t[hi]
+                local i = lo - 1
+                for j = lo, hi - 1 do
+                    if t[j] <= pivot then
+                        i = i + 1
+                        t[i], t[j] = t[j], t[i]
+                    end
+                end
+                t[i + 1], t[hi] = t[hi], t[i + 1]
+                quicksort(t, lo, i)
+                quicksort(t, i + 2, hi)
+            end
+            return t
+        end
+        local data = {5, 3, 8, 1, 9, 2, 7, 4, 6}
+        return table.concat(quicksort(data), ",")
+    "#);
+    assert_eq!(out, vec![Value::str("1,2,3,4,5,6,7,8,9")]);
+}
+
+#[test]
+fn object_oriented_accounts() {
+    // The prototype-based OO idiom the paper's smart proxies use.
+    let out = run(r#"
+        local Account = {}
+        function Account.new(balance)
+            local self = {balance = balance or 0}
+            self.deposit = Account.deposit
+            self.withdraw = Account.withdraw
+            return self
+        end
+        function Account.deposit(self, n) self.balance = self.balance + n end
+        function Account.withdraw(self, n)
+            if n > self.balance then error("insufficient funds") end
+            self.balance = self.balance - n
+        end
+
+        local acc = Account.new(100)
+        acc:deposit(50)
+        acc:withdraw(30)
+        local ok, err = pcall(function() acc:withdraw(1000) end)
+        return acc.balance, ok, err
+    "#);
+    assert_eq!(out[0], Value::Num(120.0));
+    assert_eq!(out[1], Value::Bool(false));
+    assert!(out[2].as_str().unwrap().contains("insufficient"));
+}
+
+#[test]
+fn closure_based_iterators() {
+    let out = run(r#"
+        local function range(n)
+            local i = 0
+            return function()
+                i = i + 1
+                if i <= n then return i end
+            end
+        end
+        local sum = 0
+        for v in range(10) do sum = sum + v end
+        return sum
+    "#);
+    assert_eq!(out, vec![Value::Num(55.0)]);
+}
+
+#[test]
+fn event_queue_simulation() {
+    // The postponed-handling pattern from Section IV, in pure Rua.
+    let out = run(r#"
+        local queue = {}
+        local handled = {}
+        local strategies = {
+            LoadIncrease = function(e) table.insert(handled, "rebind") end,
+            Timeout = function(e) table.insert(handled, "retry") end,
+        }
+        local function notify(evid) table.insert(queue, evid) end
+        local function before_invocation()
+            local seen = {}
+            while #queue > 0 do
+                local e = table.remove(queue, 1)
+                if not seen[e] then
+                    seen[e] = true
+                    local strategy = strategies[e]
+                    if strategy then strategy(e) end
+                end
+            end
+        end
+
+        notify("LoadIncrease")
+        notify("LoadIncrease")   -- duplicate: coalesced
+        notify("Timeout")
+        before_invocation()
+        return #handled, handled[1], handled[2]
+    "#);
+    assert_eq!(
+        out,
+        vec![Value::Num(2.0), Value::str("rebind"), Value::str("retry")]
+    );
+}
+
+#[test]
+fn string_processing() {
+    let out = run(r#"
+        local line = "0.52 0.41 0.30 1/123 4567"
+        local fields = {}
+        local start = 1
+        while true do
+            local s, e = string.find(line, " ", start)
+            if s == nil then
+                table.insert(fields, string.sub(line, start))
+                break
+            end
+            table.insert(fields, string.sub(line, start, s - 1))
+            start = e + 1
+        end
+        return #fields, tonumber(fields[1]), fields[4]
+    "#);
+    assert_eq!(
+        out,
+        vec![Value::Num(5.0), Value::Num(0.52), Value::str("1/123")]
+    );
+}
+
+#[test]
+fn memoised_fibonacci() {
+    let out = run(r#"
+        local memo = {}
+        local function fib(n)
+            if n < 2 then return n end
+            if memo[n] then return memo[n] end
+            local v = fib(n - 1) + fib(n - 2)
+            memo[n] = v
+            return v
+        end
+        return fib(40)
+    "#);
+    assert_eq!(out, vec![Value::Num(102334155.0)]);
+}
+
+#[test]
+fn generic_dispatch_table_with_varargs() {
+    let out = run(r#"
+        local handlers = {}
+        local function on(event, f) handlers[event] = f end
+        local function emit(event, ...)
+            local h = handlers[event]
+            if h then return h(...) end
+            return nil
+        end
+        on("sum", function(...)
+            local s = 0
+            for _, v in ipairs({...}) do s = s + v end
+            return s
+        end)
+        on("join", function(sep, ...) return table.concat({...}, sep) end)
+        return emit("sum", 1, 2, 3), emit("join", "-", "a", "b"), emit("missing")
+    "#);
+    assert_eq!(out, vec![Value::Num(6.0), Value::str("a-b"), Value::Nil]);
+}
+
+#[test]
+fn deep_data_transformation() {
+    let out = run(r#"
+        local offers = {
+            {host = "n1", load = 3.2},
+            {host = "n2", load = 0.8},
+            {host = "n3", load = 1.5},
+        }
+        -- filter: load < 2; sort ascending by load; project hosts
+        local viable = {}
+        for _, offer in ipairs(offers) do
+            if offer.load < 2 then table.insert(viable, offer) end
+        end
+        table.sort(viable, function(a, b) return a.load < b.load end)
+        local names = {}
+        for _, offer in ipairs(viable) do table.insert(names, offer.host) end
+        return table.concat(names, ",")
+    "#);
+    assert_eq!(out, vec![Value::str("n2,n3")]);
+}
+
+#[test]
+fn budget_survives_heavy_programs() {
+    let mut rua = Interpreter::new();
+    rua.set_budget(Some(5_000_000));
+    let out = rua
+        .eval(
+            r#"
+            local total = 0
+            for i = 1, 1000 do
+                for j = 1, 100 do
+                    total = total + (i * j) % 7
+                end
+            end
+            return total
+        "#,
+        )
+        .unwrap();
+    assert!(matches!(out[0], Value::Num(n) if n > 0.0));
+}

@@ -1,0 +1,210 @@
+//! Property tests for the Rua interpreter: the front end is total, the
+//! budget makes execution total, and core semantics hold for generated
+//! programs.
+
+use adapta_script::{Interpreter, Value};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lexer + parser never panic, whatever the input.
+    #[test]
+    fn parser_is_total(src in ".{0,200}") {
+        let mut rua = Interpreter::new();
+        let _ = rua.compile(&src);
+    }
+
+    /// With a budget installed, evaluation of arbitrary *valid-ish*
+    /// programs always terminates (ok, error, or budget exhaustion) and
+    /// never panics.
+    #[test]
+    fn budgeted_eval_is_total(src in "[a-z0-9 =+*()<>~\\-,\\[\\]{}\"']{0,120}") {
+        let mut rua = Interpreter::new();
+        rua.set_budget(Some(50_000));
+        let _ = rua.eval(&src);
+    }
+
+    /// Arithmetic on numbers matches Rust's f64 semantics.
+    #[test]
+    fn arithmetic_matches_f64(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let mut rua = Interpreter::new();
+        rua.set_global("a", Value::Num(a));
+        rua.set_global("b", Value::Num(b));
+        let out = rua.eval("return a + b, a - b, a * b").unwrap();
+        prop_assert_eq!(out[0].as_num().unwrap(), a + b);
+        prop_assert_eq!(out[1].as_num().unwrap(), a - b);
+        prop_assert_eq!(out[2].as_num().unwrap(), a * b);
+    }
+
+    /// Comparison operators agree with Rust's.
+    #[test]
+    fn comparisons_match(a in any::<i32>(), b in any::<i32>()) {
+        let mut rua = Interpreter::new();
+        rua.set_global("a", Value::from(a as i64));
+        rua.set_global("b", Value::from(b as i64));
+        let out = rua.eval("return a < b, a <= b, a == b, a ~= b").unwrap();
+        prop_assert_eq!(out[0].clone(), Value::Bool(a < b));
+        prop_assert_eq!(out[1].clone(), Value::Bool(a <= b));
+        prop_assert_eq!(out[2].clone(), Value::Bool(a == b));
+        prop_assert_eq!(out[3].clone(), Value::Bool(a != b));
+    }
+
+    /// String literals round-trip through concatenation and length.
+    #[test]
+    fn string_round_trip(s in "[a-zA-Z0-9 _.]{0,40}") {
+        let mut rua = Interpreter::new();
+        rua.set_global("s", Value::str(&s));
+        let out = rua.eval("return s .. '', string.len(s)").unwrap();
+        prop_assert_eq!(out[0].as_str(), Some(s.as_str()));
+        prop_assert_eq!(out[1].as_num(), Some(s.len() as f64));
+    }
+
+    /// Table writes read back; `#` counts the dense prefix.
+    #[test]
+    fn table_semantics(items in proptest::collection::vec(any::<i32>(), 0..24)) {
+        let mut rua = Interpreter::new();
+        let build: String = items
+            .iter()
+            .map(|n| format!("table.insert(t, {n})\n"))
+            .collect();
+        let src = format!("t = {{}}\n{build}return #t");
+        let out = rua.eval(&src).unwrap();
+        prop_assert_eq!(out[0].as_num(), Some(items.len() as f64));
+        for (i, n) in items.iter().enumerate() {
+            let v = rua.eval(&format!("return t[{}]", i + 1)).unwrap();
+            prop_assert_eq!(v[0].as_num(), Some(*n as f64));
+        }
+    }
+
+    /// Numeric `for` iterates the expected number of times.
+    #[test]
+    fn numeric_for_count(start in -20i64..20, stop in -20i64..20, step in 1i64..5) {
+        let mut rua = Interpreter::new();
+        let out = rua
+            .eval(&format!(
+                "local n = 0 for i = {start}, {stop}, {step} do n = n + 1 end return n"
+            ))
+            .unwrap();
+        let expected = if start > stop { 0 } else { (stop - start) / step + 1 };
+        prop_assert_eq!(out[0].as_num(), Some(expected as f64));
+    }
+
+    /// `pcall` converts any runtime error into a value — never unwinds.
+    #[test]
+    fn pcall_contains_errors(msg in "[a-z ]{0,24}") {
+        let mut rua = Interpreter::new();
+        rua.set_global("m", Value::str(&msg));
+        let out = rua
+            .eval("local ok, err = pcall(function() error(m) end) return ok, err")
+            .unwrap();
+        prop_assert_eq!(out[0].clone(), Value::Bool(false));
+        prop_assert_eq!(out[1].as_str(), Some(msg.as_str()));
+    }
+}
+
+#[cfg(test)]
+mod vararg_tests {
+    use adapta_script::{Interpreter, Value};
+
+    fn eval1(src: &str) -> Value {
+        Interpreter::new()
+            .eval(src)
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap_or(Value::Nil)
+    }
+
+    #[test]
+    fn varargs_expand_in_calls_and_tables() {
+        assert_eq!(
+            eval1(
+                r#"
+                local function sum(...)
+                    local t = {...}
+                    local s = 0
+                    for i, v in ipairs(t) do s = s + v end
+                    return s
+                end
+                return sum(1, 2, 3, 4)
+            "#
+            ),
+            Value::Num(10.0)
+        );
+    }
+
+    #[test]
+    fn varargs_forward_to_other_functions() {
+        assert_eq!(
+            eval1(
+                r#"
+                local function inner(a, b, c) return (a or 0) + (b or 0) + (c or 0) end
+                local function outer(...) return inner(...) end
+                return outer(1, 2)
+            "#
+            ),
+            Value::Num(3.0)
+        );
+    }
+
+    #[test]
+    fn mixed_fixed_and_vararg_params() {
+        let out = Interpreter::new()
+            .eval(
+                r#"
+                local function f(first, ...)
+                    return first, select('#', ...), ...
+                end
+                return f("head", 10, 20)
+            "#,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Value::str("head"),
+                Value::Num(2.0),
+                Value::Num(10.0),
+                Value::Num(20.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn select_semantics() {
+        assert_eq!(eval1("return select('#', 'a', 'b', 'c')"), Value::Num(3.0));
+        let out = Interpreter::new()
+            .eval("return select(2, 'a', 'b', 'c')")
+            .unwrap();
+        assert_eq!(out, vec![Value::str("b"), Value::str("c")]);
+        assert!(Interpreter::new().eval("return select(0, 'a')").is_err());
+    }
+
+    #[test]
+    fn vararg_in_middle_of_list_yields_one_value() {
+        let out = Interpreter::new()
+            .eval(
+                r#"
+                local function f(...) return ..., "tail" end
+                return f(1, 2, 3)
+            "#,
+            )
+            .unwrap();
+        // `...` not in final position truncates to one value (Lua rule).
+        assert_eq!(out, vec![Value::Num(1.0), Value::str("tail")]);
+    }
+
+    #[test]
+    fn vararg_outside_vararg_function_is_an_error() {
+        let err = Interpreter::new()
+            .eval("local function f(a) return ... end return f(1)")
+            .unwrap_err();
+        assert!(err.to_string().contains("vararg"));
+    }
+
+    #[test]
+    fn chunks_accept_varargs_conceptually() {
+        // Top-level chunks compile as vararg functions (loadstring
+        // semantics); with no arguments `...` is empty.
+        assert_eq!(eval1("return select('#', ...)"), Value::Num(0.0));
+    }
+}

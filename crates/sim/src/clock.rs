@@ -1,0 +1,274 @@
+//! Time sources: a shared [`Clock`] trait with real and virtual
+//! implementations.
+//!
+//! All time-dependent components in the workspace (monitors, simulated
+//! hosts, transports with latency models) read time through a
+//! [`Clock`] so that experiments can run under a [`VirtualClock`] and be
+//! perfectly reproducible, while deployments use [`RealClock`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A point in simulated (or real, relative) time, measured in nanoseconds
+/// since the clock's epoch.
+///
+/// `SimTime` is a plain value type: copy it, compare it, subtract two of
+/// them to get a [`Duration`].
+///
+/// ```
+/// use adapta_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_secs(5);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_secs(5));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The clock epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time point `nanos` nanoseconds after the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time point `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Creates a time point `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (fractional part truncated).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({:.6}s)", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+/// A monotone time source.
+///
+/// Implementations must be cheap to clone (they are shared via [`Arc`])
+/// and callable from any thread.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current time.
+    fn now(&self) -> SimTime;
+
+    /// Blocks the calling thread for (at least) `d`.
+    ///
+    /// Under a [`VirtualClock`] this spins on the virtual time and yields,
+    /// so it should only be used from threads co-operating with a driver
+    /// that advances the clock; simulation code should prefer the
+    /// event [`Scheduler`](crate::scheduler::Scheduler).
+    fn sleep(&self, d: Duration);
+}
+
+/// Wall-clock time relative to the moment the clock was created.
+///
+/// ```
+/// use adapta_sim::{Clock, RealClock};
+/// let clock = RealClock::new();
+/// let t0 = clock.now();
+/// assert!(clock.now() >= t0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    origin: std::time::Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> Self {
+        RealClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.origin.elapsed().as_nanos() as u64)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A manually-advanced clock for deterministic tests and experiments.
+///
+/// Cloning a `VirtualClock` yields a handle to the *same* underlying
+/// time, so a clock can be shared between hosts, monitors and transports.
+///
+/// ```
+/// use adapta_sim::{Clock, VirtualClock};
+/// use std::time::Duration;
+///
+/// let clock = VirtualClock::new();
+/// let view = clock.clone();
+/// clock.advance(Duration::from_secs(60));
+/// assert_eq!(view.now().as_secs(), 60);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock {
+            nanos: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time: virtual clocks are
+    /// monotone like real ones.
+    pub fn advance_to(&self, t: SimTime) {
+        let prev = self.nanos.swap(t.as_nanos(), Ordering::SeqCst);
+        assert!(
+            prev <= t.as_nanos(),
+            "virtual clock moved backwards: {prev} -> {}",
+            t.as_nanos()
+        );
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        let deadline = self.now() + d;
+        while self.now() < deadline {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Convenience alias used across the workspace for a shared clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic_round_trips() {
+        let t = SimTime::from_secs(2) + Duration::from_millis(500);
+        assert_eq!(t.as_nanos(), 2_500_000_000);
+        assert_eq!(t.as_secs(), 2);
+        assert_eq!(t - SimTime::from_secs(1), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn simtime_since_saturates() {
+        assert_eq!(SimTime::ZERO.since(SimTime::from_secs(5)), Duration::ZERO);
+    }
+
+    #[test]
+    fn virtual_clock_is_shared_between_clones() {
+        let c = VirtualClock::new();
+        let view = c.clone();
+        c.advance(Duration::from_secs(3));
+        assert_eq!(view.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn virtual_clock_advance_to_is_monotone() {
+        let c = VirtualClock::new();
+        c.advance_to(SimTime::from_secs(10));
+        assert_eq!(c.now().as_secs(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn virtual_clock_rejects_time_travel() {
+        let c = VirtualClock::new();
+        c.advance_to(SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500s");
+    }
+}

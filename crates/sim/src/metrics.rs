@@ -1,0 +1,237 @@
+//! Measurement collection for experiments: latency histograms, message
+//! counters and load-imbalance statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A simple exact histogram of durations.
+///
+/// Samples are kept verbatim (experiments record at most a few hundred
+/// thousand points) so quantiles are exact rather than bucketed.
+///
+/// ```
+/// use adapta_sim::Histogram;
+/// use std::time::Duration;
+///
+/// let mut h = Histogram::new();
+/// for ms in [10u64, 20, 30, 40, 50] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.len(), 5);
+/// assert_eq!(h.quantile(0.5), Duration::from_millis(30));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: f64 = self.samples.iter().map(Duration::as_secs_f64).sum();
+        Duration::from_secs_f64(total / self.samples.len() as f64)
+    }
+
+    /// The `q`-quantile (nearest-rank), or zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&mut self) -> Duration {
+        self.quantile(1.0)
+    }
+
+    /// Merges all samples from `other`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// One-line summary: `n / mean / p50 / p95 / p99 / max`.
+    pub fn summary(&mut self) -> String {
+        format!(
+            "n={} mean={:.2?} p50={:.2?} p95={:.2?} p99={:.2?} max={:.2?}",
+            self.len(),
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max(),
+        )
+    }
+}
+
+/// A named monotone counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// Population standard deviation of a slice — used as the *load imbalance
+/// index* across servers in the load-sharing experiment.
+///
+/// ```
+/// use adapta_sim::metrics::std_dev;
+/// assert_eq!(std_dev(&[2.0, 2.0, 2.0]), 0.0);
+/// assert!(std_dev(&[0.0, 4.0]) > 1.9);
+/// ```
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation (`std_dev / mean`), zero when the mean is zero.
+pub fn coeff_of_variation(values: &[f64]) -> f64 {
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        std_dev(values) / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_nearest_rank() {
+        let mut h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.quantile(0.01), Duration::from_millis(1));
+        assert_eq!(h.quantile(0.5), Duration::from_millis(50));
+        assert_eq!(h.quantile(0.95), Duration::from_millis(95));
+        assert_eq!(h.quantile(1.0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(30));
+        assert_eq!(h.mean(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_millis(1));
+        let mut b = Histogram::new();
+        b.record(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), Duration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn histogram_rejects_bad_quantile() {
+        Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn std_dev_of_uniform_is_zero() {
+        assert_eq!(std_dev(&[5.0; 10]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn coeff_of_variation_normalises() {
+        let low = coeff_of_variation(&[9.0, 10.0, 11.0]);
+        let high = coeff_of_variation(&[1.0, 10.0, 19.0]);
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,249 @@
+//! A minimal discrete-event scheduler.
+//!
+//! Experiments in `adapta-bench` are discrete-event simulations: request
+//! arrivals, service completions, monitor ticks and load-profile changes
+//! are events ordered by virtual time. The [`Scheduler`] owns the event
+//! queue and (optionally) drives a [`VirtualClock`] forward so that
+//! components reading the clock observe consistent time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use crate::clock::{Clock, SimTime, VirtualClock};
+
+type Event<Ctx> = Box<dyn FnOnce(&mut Ctx, &mut Scheduler<Ctx>)>;
+
+struct Entry<Ctx> {
+    at: SimTime,
+    seq: u64,
+    run: Event<Ctx>,
+}
+
+/// A discrete-event scheduler over a user context `Ctx`.
+///
+/// Events are closures receiving the context and the scheduler itself, so
+/// handlers can schedule follow-up events. Ties in time are broken by
+/// insertion order, which makes runs fully deterministic.
+///
+/// ```
+/// use adapta_sim::{Scheduler, SimTime};
+/// use std::time::Duration;
+///
+/// let mut sched = Scheduler::<Vec<u64>>::new();
+/// sched.after(Duration::from_secs(2), |log, _| log.push(2));
+/// sched.after(Duration::from_secs(1), |log, s| {
+///     log.push(1);
+///     s.after(Duration::from_secs(5), |log, _| log.push(6));
+/// });
+/// let mut log = Vec::new();
+/// sched.run_until(&mut log, SimTime::from_secs(10));
+/// assert_eq!(log, vec![1, 2, 6]);
+/// ```
+pub struct Scheduler<Ctx> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<HeapKey>>,
+    events: std::collections::HashMap<u64, Entry<Ctx>>,
+    clock: Option<VirtualClock>,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+}
+
+impl<Ctx> Default for Scheduler<Ctx> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Ctx> Scheduler<Ctx> {
+    /// Creates a scheduler starting at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            events: std::collections::HashMap::new(),
+            clock: None,
+        }
+    }
+
+    /// Creates a scheduler that keeps `clock` in sync with simulated time,
+    /// so components holding the clock observe event time.
+    pub fn with_clock(clock: VirtualClock) -> Self {
+        let mut s = Self::new();
+        s.now = clock.now();
+        s.clock = Some(clock);
+        s
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Events scheduled in the past run "now": they are clamped to the
+    /// current time and executed in insertion order.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut Ctx, &mut Scheduler<Ctx>) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(HeapKey { at, seq }));
+        self.events.insert(
+            seq,
+            Entry {
+                at,
+                seq,
+                run: Box::new(f),
+            },
+        );
+    }
+
+    /// Schedules `f` to run `d` after the current time.
+    pub fn after(&mut self, d: Duration, f: impl FnOnce(&mut Ctx, &mut Scheduler<Ctx>) + 'static) {
+        self.at(self.now + d, f);
+    }
+
+    /// Schedules `f` to run every `period`, starting one period from now,
+    /// until (and excluding) `until`.
+    pub fn every(
+        &mut self,
+        period: Duration,
+        until: SimTime,
+        f: impl FnMut(&mut Ctx, &mut Scheduler<Ctx>) + 'static,
+    ) {
+        fn tick<Ctx>(
+            mut f: impl FnMut(&mut Ctx, &mut Scheduler<Ctx>) + 'static,
+            period: Duration,
+            until: SimTime,
+            ctx: &mut Ctx,
+            s: &mut Scheduler<Ctx>,
+        ) {
+            f(ctx, s);
+            let next = s.now + period;
+            if next < until {
+                s.at(next, move |ctx, s| tick(f, period, until, ctx, s));
+            }
+        }
+        let first = self.now + period;
+        if first < until {
+            self.at(first, move |ctx, s| tick(f, period, until, ctx, s));
+        }
+    }
+
+    /// Runs events in time order until the queue is empty or the next
+    /// event is at or after `end`; finally advances time to `end`.
+    pub fn run_until(&mut self, ctx: &mut Ctx, end: SimTime) {
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if key.at >= end {
+                break;
+            }
+            let Reverse(key) = self.queue.pop().expect("peeked entry");
+            let entry = self
+                .events
+                .remove(&key.seq)
+                .expect("event table in sync with heap");
+            debug_assert_eq!(entry.at, key.at);
+            debug_assert_eq!(entry.seq, key.seq);
+            self.advance_now(entry.at);
+            (entry.run)(ctx, self);
+        }
+        self.advance_now(end);
+    }
+
+    /// Runs every pending event (including ones scheduled by handlers).
+    pub fn run_to_completion(&mut self, ctx: &mut Ctx) {
+        while let Some(Reverse(key)) = self.queue.pop() {
+            let entry = self
+                .events
+                .remove(&key.seq)
+                .expect("event table in sync with heap");
+            self.advance_now(entry.at);
+            (entry.run)(ctx, self);
+        }
+    }
+
+    fn advance_now(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+            if let Some(clock) = &self.clock {
+                clock.advance_to(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+
+    #[test]
+    fn events_run_in_time_order_with_fifo_ties() {
+        let mut s = Scheduler::<Vec<&'static str>>::new();
+        s.at(SimTime::from_secs(1), |log, _| log.push("a"));
+        s.at(SimTime::from_secs(1), |log, _| log.push("b"));
+        s.at(SimTime::from_millis(500), |log, _| log.push("early"));
+        let mut log = Vec::new();
+        s.run_to_completion(&mut log);
+        assert_eq!(log, vec!["early", "a", "b"]);
+    }
+
+    #[test]
+    fn run_until_stops_before_end_and_advances_time() {
+        let mut s = Scheduler::<u32>::new();
+        s.at(SimTime::from_secs(1), |n, _| *n += 1);
+        s.at(SimTime::from_secs(5), |n, _| *n += 1);
+        let mut n = 0;
+        s.run_until(&mut n, SimTime::from_secs(3));
+        assert_eq!(n, 1);
+        assert_eq!(s.now(), SimTime::from_secs(3));
+        s.run_to_completion(&mut n);
+        assert_eq!(n, 2);
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut s = Scheduler::<Vec<u64>>::new();
+        s.at(SimTime::from_secs(2), |log, s| {
+            // Scheduled "in the past" relative to now=2s.
+            s.at(SimTime::from_secs(1), |log, s| log.push(s.now().as_secs()));
+            log.push(s.now().as_secs());
+        });
+        let mut log = Vec::new();
+        s.run_to_completion(&mut log);
+        assert_eq!(log, vec![2, 2]);
+    }
+
+    #[test]
+    fn every_repeats_until_deadline() {
+        let mut s = Scheduler::<Vec<u64>>::new();
+        s.every(Duration::from_secs(10), SimTime::from_secs(45), |log, s| {
+            log.push(s.now().as_secs())
+        });
+        let mut log = Vec::new();
+        s.run_to_completion(&mut log);
+        assert_eq!(log, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn scheduler_drives_attached_virtual_clock() {
+        let clock = VirtualClock::new();
+        let mut s = Scheduler::<()>::with_clock(clock.clone());
+        s.at(SimTime::from_secs(7), |_, _| {});
+        s.run_to_completion(&mut ());
+        assert_eq!(clock.now(), SimTime::from_secs(7));
+    }
+}

@@ -1,0 +1,164 @@
+//! Seeded workload generators.
+//!
+//! Experiments use two standard client models:
+//!
+//! * **closed loop** — a fixed population of clients, each issuing one
+//!   request, waiting for the reply, then thinking for an exponentially
+//!   distributed time ([`ClosedLoop`]);
+//! * **open loop** — requests arrive as a Poisson process regardless of
+//!   completions ([`PoissonArrivals`]).
+//!
+//! All generators are deterministic given a seed.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws an exponentially distributed duration with the given mean.
+///
+/// ```
+/// use adapta_sim::workload::exp_duration;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use std::time::Duration;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let d = exp_duration(&mut rng, Duration::from_millis(100));
+/// assert!(d > Duration::ZERO);
+/// ```
+pub fn exp_duration(rng: &mut impl Rng, mean: Duration) -> Duration {
+    // Inverse-CDF sampling; `1 - u` avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    let x = -(1.0 - u).ln();
+    Duration::from_nanos((mean.as_nanos() as f64 * x) as u64)
+}
+
+/// An endless stream of Poisson interarrival gaps with a given rate
+/// (requests per second).
+///
+/// ```
+/// use adapta_sim::workload::PoissonArrivals;
+///
+/// let mut arrivals = PoissonArrivals::new(100.0, 42);
+/// let gaps: Vec<_> = (0..1000).map(|_| arrivals.next_gap()).collect();
+/// let mean_s: f64 = gaps.iter().map(|d| d.as_secs_f64()).sum::<f64>() / 1000.0;
+/// assert!((mean_s - 0.01).abs() < 0.002, "mean gap should be ~1/rate");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    mean_gap: Duration,
+    rng: StdRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        PoissonArrivals {
+            mean_gap: Duration::from_secs_f64(1.0 / rate),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The gap until the next arrival.
+    pub fn next_gap(&mut self) -> Duration {
+        exp_duration(&mut self.rng, self.mean_gap)
+    }
+}
+
+/// A closed-loop client population: think times are exponential with the
+/// configured mean, one stream per client, all derived from one seed.
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    mean_think: Duration,
+    rngs: Vec<StdRng>,
+}
+
+impl ClosedLoop {
+    /// Creates `clients` independent think-time streams.
+    pub fn new(clients: usize, mean_think: Duration, seed: u64) -> Self {
+        ClosedLoop {
+            mean_think,
+            rngs: (0..clients)
+                .map(|i| {
+                    StdRng::seed_from_u64(
+                        seed.wrapping_add(i as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of clients in the population.
+    pub fn clients(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Draws the next think time for `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn think_time(&mut self, client: usize) -> Duration {
+        let mean = self.mean_think;
+        exp_duration(&mut self.rngs[client], mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_duration_has_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean = Duration::from_millis(50);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| exp_duration(&mut rng, mean).as_secs_f64())
+            .sum();
+        let observed = total / n as f64;
+        assert!((observed - 0.05).abs() < 0.003, "observed mean {observed}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_for_a_seed() {
+        let mut a = PoissonArrivals::new(10.0, 99);
+        let mut b = PoissonArrivals::new(10.0, 99);
+        for _ in 0..100 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+    }
+
+    #[test]
+    fn poisson_seeds_differ() {
+        let mut a = PoissonArrivals::new(10.0, 1);
+        let mut b = PoissonArrivals::new(10.0, 2);
+        let same = (0..20).filter(|_| a.next_gap() == b.next_gap()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        PoissonArrivals::new(0.0, 0);
+    }
+
+    #[test]
+    fn closed_loop_clients_are_independent_streams() {
+        let mut w = ClosedLoop::new(2, Duration::from_millis(100), 7);
+        let a: Vec<_> = (0..5).map(|_| w.think_time(0)).collect();
+        let mut w2 = ClosedLoop::new(2, Duration::from_millis(100), 7);
+        let b: Vec<_> = (0..5).map(|_| w2.think_time(1)).collect();
+        assert_ne!(a, b, "per-client streams should differ");
+        // Same seed, same client: identical.
+        let mut w3 = ClosedLoop::new(2, Duration::from_millis(100), 7);
+        let a2: Vec<_> = (0..5).map(|_| w3.think_time(0)).collect();
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Trading-service errors.
+
+use std::error::Error;
+use std::fmt;
+
+use adapta_orb::OrbError;
+
+/// Errors raised by the trading service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TradingError {
+    /// The service type is not registered.
+    UnknownServiceType(String),
+    /// A service type with this name already exists.
+    DuplicateServiceType(String),
+    /// The constraint expression failed to parse.
+    IllegalConstraint {
+        /// The constraint source.
+        constraint: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The preference expression failed to parse.
+    IllegalPreference {
+        /// The preference source.
+        preference: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An exported offer misses a mandatory property.
+    MissingMandatoryProperty {
+        /// The service type.
+        service_type: String,
+        /// The missing property.
+        property: String,
+    },
+    /// A property value does not match its declared type.
+    PropertyTypeMismatch {
+        /// The property name.
+        property: String,
+        /// The declared type.
+        expected: String,
+        /// The supplied value's kind.
+        found: String,
+    },
+    /// An attempt to modify a readonly property.
+    ReadonlyProperty(String),
+    /// A property not declared by the offer's service type.
+    UnknownProperty {
+        /// The service type.
+        service_type: String,
+        /// The undeclared property.
+        property: String,
+    },
+    /// The offer id is unknown.
+    UnknownOffer(String),
+    /// A broker-level failure (dynamic property evaluation, federation…).
+    Orb(OrbError),
+}
+
+impl fmt::Display for TradingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TradingError::UnknownServiceType(t) => write!(f, "unknown service type `{t}`"),
+            TradingError::DuplicateServiceType(t) => {
+                write!(f, "service type `{t}` already registered")
+            }
+            TradingError::IllegalConstraint { constraint, reason } => {
+                write!(f, "illegal constraint `{constraint}`: {reason}")
+            }
+            TradingError::IllegalPreference { preference, reason } => {
+                write!(f, "illegal preference `{preference}`: {reason}")
+            }
+            TradingError::MissingMandatoryProperty {
+                service_type,
+                property,
+            } => write!(
+                f,
+                "offer of type `{service_type}` misses mandatory property `{property}`"
+            ),
+            TradingError::PropertyTypeMismatch {
+                property,
+                expected,
+                found,
+            } => write!(f, "property `{property}` expects {expected}, got {found}"),
+            TradingError::ReadonlyProperty(p) => {
+                write!(f, "property `{p}` is readonly and cannot be modified")
+            }
+            TradingError::UnknownProperty {
+                service_type,
+                property,
+            } => write!(
+                f,
+                "service type `{service_type}` does not declare property `{property}`"
+            ),
+            TradingError::UnknownOffer(id) => write!(f, "unknown offer `{id}`"),
+            TradingError::Orb(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for TradingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TradingError::Orb(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OrbError> for TradingError {
+    fn from(e: OrbError) -> Self {
+        TradingError::Orb(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TradingError::MissingMandatoryProperty {
+            service_type: "Hello".into(),
+            property: "LoadAvg".into(),
+        };
+        assert!(e.to_string().contains("Hello"));
+        assert!(e.to_string().contains("LoadAvg"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<TradingError>();
+    }
+}

@@ -1,0 +1,245 @@
+//! Service offers: what servers export and importers get back.
+
+use std::fmt;
+
+use adapta_idl::Value;
+use adapta_orb::ObjRef;
+
+/// The identifier the trader hands back at export time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OfferId(pub(crate) String);
+
+impl OfferId {
+    /// Wraps a raw offer-id string (as received over the wire).
+    pub fn from_string(s: impl Into<String>) -> OfferId {
+        OfferId(s.into())
+    }
+
+    /// The raw string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for OfferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A property value inside an offer: stored, or evaluated on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropValue {
+    /// A stored value.
+    Static(Value),
+    /// A *dynamic property*: a reference to an object implementing
+    /// `evalDP(name) -> value`, queried at import time. This is the
+    /// OMG dynamic-property mechanism the paper's monitors plug into.
+    Dynamic(ObjRef),
+}
+
+impl PropValue {
+    /// Encodes for the wire (`{kind, value|ref}`).
+    pub fn to_value(&self) -> Value {
+        match self {
+            PropValue::Static(v) => {
+                Value::map([("kind", Value::from("static")), ("value", v.clone())])
+            }
+            PropValue::Dynamic(r) => Value::map([
+                ("kind", Value::from("dynamic")),
+                ("ref", Value::ObjRef(r.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes the wire form; `None` on malformed input.
+    pub fn from_value(v: &Value) -> Option<PropValue> {
+        match v.get("kind")?.as_str()? {
+            "static" => Some(PropValue::Static(v.get("value")?.clone())),
+            "dynamic" => Some(PropValue::Dynamic(v.get("ref")?.as_objref()?.clone())),
+            _ => None,
+        }
+    }
+}
+
+impl From<Value> for PropValue {
+    fn from(v: Value) -> PropValue {
+        PropValue::Static(v)
+    }
+}
+
+/// An export request: the offer a server registers with the trader.
+///
+/// ```
+/// use adapta_trading::ExportRequest;
+/// use adapta_idl::{ObjRefData, Value};
+///
+/// let req = ExportRequest::new("HelloService", ObjRefData::new("inproc://s", "h", "Hello"))
+///     .with_property("Host", Value::from("node1"))
+///     .with_dynamic_property("LoadAvg", ObjRefData::new("inproc://s", "mon", "Monitor"));
+/// assert_eq!(req.properties.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportRequest {
+    /// The service type of the offer.
+    pub service_type: String,
+    /// The object that provides the service.
+    pub target: ObjRef,
+    /// Offer properties.
+    pub properties: Vec<(String, PropValue)>,
+}
+
+impl ExportRequest {
+    /// Creates a request with no properties.
+    pub fn new(service_type: impl Into<String>, target: ObjRef) -> Self {
+        ExportRequest {
+            service_type: service_type.into(),
+            target,
+            properties: Vec::new(),
+        }
+    }
+
+    /// Adds a static property; returns `self` for chaining.
+    pub fn with_property(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.properties
+            .push((name.into(), PropValue::Static(value)));
+        self
+    }
+
+    /// Adds a dynamic property backed by `eval_ref`; returns `self`.
+    pub fn with_dynamic_property(mut self, name: impl Into<String>, eval_ref: ObjRef) -> Self {
+        self.properties
+            .push((name.into(), PropValue::Dynamic(eval_ref)));
+        self
+    }
+}
+
+/// An offer as stored by the trader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOffer {
+    /// The trader-assigned id.
+    pub id: OfferId,
+    /// Service type.
+    pub service_type: String,
+    /// The provider object.
+    pub target: ObjRef,
+    /// Properties (static or dynamic).
+    pub properties: Vec<(String, PropValue)>,
+}
+
+/// A query result: an offer with its properties *resolved* (dynamic
+/// properties evaluated) at query time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfferMatch {
+    /// The matched offer's id.
+    pub id: OfferId,
+    /// Service type of the offer.
+    pub service_type: String,
+    /// The provider object.
+    pub target: ObjRef,
+    /// Properties as seen by the constraint/preference evaluation.
+    pub properties: Vec<(String, Value)>,
+    /// For each dynamic property: the object that evaluates it (lets
+    /// importers subscribe to the monitor behind a property).
+    pub dynamic: Vec<(String, ObjRef)>,
+}
+
+impl OfferMatch {
+    /// Looks up a resolved property.
+    pub fn prop(&self, name: &str) -> Option<&Value> {
+        self.properties
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// The eval object behind a dynamic property, if any.
+    pub fn dynamic_ref(&self, name: &str) -> Option<&ObjRef> {
+        self.dynamic.iter().find(|(k, _)| k == name).map(|(_, r)| r)
+    }
+
+    /// Encodes for the wire.
+    pub fn to_value(&self) -> Value {
+        Value::map([
+            ("id", Value::from(self.id.as_str())),
+            ("type", Value::from(self.service_type.as_str())),
+            ("target", Value::ObjRef(self.target.clone())),
+            ("props", Value::Map(self.properties.clone())),
+            (
+                "dynamic",
+                Value::Map(
+                    self.dynamic
+                        .iter()
+                        .map(|(k, r)| (k.clone(), Value::ObjRef(r.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes the wire form; `None` on malformed input.
+    pub fn from_value(v: &Value) -> Option<OfferMatch> {
+        let dynamic = match v.get("dynamic").and_then(Value::as_map) {
+            Some(fields) => fields
+                .iter()
+                .filter_map(|(k, r)| Some((k.clone(), r.as_objref()?.clone())))
+                .collect(),
+            None => Vec::new(),
+        };
+        Some(OfferMatch {
+            id: OfferId::from_string(v.get("id")?.as_str()?),
+            service_type: v.get("type")?.as_str()?.to_owned(),
+            target: v.get("target")?.as_objref()?.clone(),
+            properties: v.get("props")?.as_map()?.to_vec(),
+            dynamic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn some_ref() -> ObjRef {
+        ObjRef::new("inproc://n", "k", "T")
+    }
+
+    #[test]
+    fn prop_value_wire_round_trip() {
+        let s = PropValue::Static(Value::from(1.5));
+        assert_eq!(PropValue::from_value(&s.to_value()), Some(s));
+        let d = PropValue::Dynamic(some_ref());
+        assert_eq!(PropValue::from_value(&d.to_value()), Some(d));
+        assert_eq!(PropValue::from_value(&Value::Null), None);
+        assert_eq!(
+            PropValue::from_value(&Value::map([("kind", Value::from("weird"))])),
+            None
+        );
+    }
+
+    #[test]
+    fn offer_match_wire_round_trip() {
+        let m = OfferMatch {
+            id: OfferId::from_string("offer-3"),
+            service_type: "Hello".into(),
+            target: some_ref(),
+            properties: vec![("LoadAvg".into(), Value::from(0.5))],
+            dynamic: vec![("LoadAvg".into(), some_ref())],
+        };
+        assert_eq!(OfferMatch::from_value(&m.to_value()), Some(m));
+        assert_eq!(OfferMatch::from_value(&Value::Long(1)), None);
+    }
+
+    #[test]
+    fn offer_match_prop_lookup() {
+        let m = OfferMatch {
+            id: OfferId::from_string("o"),
+            service_type: "T".into(),
+            target: some_ref(),
+            properties: vec![("a".into(), Value::from(1i64))],
+            dynamic: Vec::new(),
+        };
+        assert_eq!(m.prop("a"), Some(&Value::from(1i64)));
+        assert_eq!(m.prop("b"), None);
+    }
+}

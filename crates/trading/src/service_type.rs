@@ -1,0 +1,125 @@
+//! Service-type definitions: the trading-side schema of nonfunctional
+//! properties.
+
+use adapta_idl::TypeCode;
+
+/// How a property may be supplied and changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PropMode {
+    /// Optional, modifiable.
+    #[default]
+    Normal,
+    /// Optional, fixed once exported.
+    Readonly,
+    /// Required at export, modifiable.
+    Mandatory,
+    /// Required at export, fixed once exported.
+    MandatoryReadonly,
+}
+
+impl PropMode {
+    /// True if the property must be present at export time.
+    pub fn is_mandatory(self) -> bool {
+        matches!(self, PropMode::Mandatory | PropMode::MandatoryReadonly)
+    }
+
+    /// True if the property cannot change after export.
+    pub fn is_readonly(self) -> bool {
+        matches!(self, PropMode::Readonly | PropMode::MandatoryReadonly)
+    }
+}
+
+/// One property in a service type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropDef {
+    /// Property name as used in constraints.
+    pub name: String,
+    /// Declared value type.
+    pub type_code: TypeCode,
+    /// Supply/modification mode.
+    pub mode: PropMode,
+}
+
+impl PropDef {
+    /// Creates a property definition.
+    pub fn new(name: impl Into<String>, type_code: TypeCode, mode: PropMode) -> Self {
+        PropDef {
+            name: name.into(),
+            type_code,
+            mode,
+        }
+    }
+}
+
+/// A service type: name, optional base type, property definitions.
+///
+/// Subtype offers are returned by queries for the base type unless the
+/// importer sets `exact_type_match`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceTypeDef {
+    /// Type name (e.g. `"HelloService"`).
+    pub name: String,
+    /// Base type, when this type specialises another.
+    pub base: Option<String>,
+    /// Property definitions declared directly on this type.
+    pub properties: Vec<PropDef>,
+}
+
+impl ServiceTypeDef {
+    /// Creates a type with no base and no properties.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceTypeDef {
+            name: name.into(),
+            base: None,
+            properties: Vec::new(),
+        }
+    }
+
+    /// Sets the base type; returns `self` for chaining.
+    pub fn extends(mut self, base: impl Into<String>) -> Self {
+        self.base = Some(base.into());
+        self
+    }
+
+    /// Adds a property; returns `self` for chaining.
+    pub fn with_property(mut self, prop: PropDef) -> Self {
+        self.properties.push(prop);
+        self
+    }
+
+    /// Finds a property declared directly on this type.
+    pub fn property(&self, name: &str) -> Option<&PropDef> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(PropMode::Mandatory.is_mandatory());
+        assert!(PropMode::MandatoryReadonly.is_mandatory());
+        assert!(!PropMode::Readonly.is_mandatory());
+        assert!(PropMode::Readonly.is_readonly());
+        assert!(PropMode::MandatoryReadonly.is_readonly());
+        assert!(!PropMode::Normal.is_readonly());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let t = ServiceTypeDef::new("ImageService")
+            .extends("Service")
+            .with_property(PropDef::new(
+                "LoadAvg",
+                TypeCode::Double,
+                PropMode::Mandatory,
+            ))
+            .with_property(PropDef::new("Host", TypeCode::Str, PropMode::Readonly));
+        assert_eq!(t.base.as_deref(), Some("Service"));
+        assert_eq!(t.properties.len(), 2);
+        assert!(t.property("Host").is_some());
+        assert!(t.property("Nope").is_none());
+    }
+}

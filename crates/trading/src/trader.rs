@@ -1,0 +1,681 @@
+//! The trader: service-type repository, offer register, importer.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use adapta_idl::Value;
+use adapta_orb::{ObjRef, Orb};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::constraint::Constraint;
+use crate::error::TradingError;
+use crate::offer::{ExportRequest, OfferId, OfferMatch, PropValue, ServiceOffer};
+use crate::preference::Preference;
+use crate::query::Query;
+use crate::servant::RemoteTrader;
+use crate::service_type::{PropDef, ServiceTypeDef};
+use crate::Result;
+
+/// Resolved static+dynamic property values, plus the dynamic-property
+/// eval refs (so importers can subscribe to the monitors behind them).
+type ResolvedProps = (Vec<(String, Value)>, Vec<(String, ObjRef)>);
+
+struct TraderInner {
+    orb: Orb,
+    types: RwLock<HashMap<String, ServiceTypeDef>>,
+    offers: RwLock<BTreeMap<u64, ServiceOffer>>,
+    next_offer: AtomicU64,
+    links: RwLock<Vec<(String, ObjRef)>>,
+    rng: Mutex<StdRng>,
+    queries: AtomicU64,
+}
+
+/// The trading service.
+///
+/// A `Trader` is a cheaply-cloneable handle; expose it to other
+/// processes by activating a
+/// [`TraderServant`](crate::TraderServant) on an orb.
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct Trader {
+    inner: Arc<TraderInner>,
+}
+
+impl std::fmt::Debug for Trader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trader")
+            .field("types", &self.inner.types.read().len())
+            .field("offers", &self.inner.offers.read().len())
+            .finish()
+    }
+}
+
+impl Trader {
+    /// Creates a trader that evaluates dynamic properties and follows
+    /// federation links through `orb`.
+    pub fn new(orb: &Orb) -> Trader {
+        Trader {
+            inner: Arc::new(TraderInner {
+                orb: orb.clone(),
+                types: RwLock::new(HashMap::new()),
+                offers: RwLock::new(BTreeMap::new()),
+                next_offer: AtomicU64::new(1),
+                links: RwLock::new(Vec::new()),
+                rng: Mutex::new(StdRng::seed_from_u64(0x7261_6465)),
+                queries: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Reseeds the RNG behind the `random` preference (tests).
+    pub fn reseed(&self, seed: u64) {
+        *self.inner.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+
+    /// Number of import queries served so far (experiment counter).
+    pub fn query_count(&self) -> u64 {
+        self.inner.queries.load(Ordering::Relaxed)
+    }
+
+    // ---- service types -------------------------------------------------
+
+    /// Registers a service type.
+    ///
+    /// # Errors
+    ///
+    /// [`TradingError::DuplicateServiceType`] or an unknown base type.
+    pub fn add_type(&self, def: ServiceTypeDef) -> Result<()> {
+        let mut types = self.inner.types.write();
+        if types.contains_key(&def.name) {
+            return Err(TradingError::DuplicateServiceType(def.name));
+        }
+        if let Some(base) = &def.base {
+            if !types.contains_key(base) {
+                return Err(TradingError::UnknownServiceType(base.clone()));
+            }
+        }
+        types.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// The registered type names (sorted).
+    pub fn type_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.inner.types.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Looks up a type definition.
+    pub fn describe_type(&self, name: &str) -> Option<ServiceTypeDef> {
+        self.inner.types.read().get(name).cloned()
+    }
+
+    /// True if `sub` equals `base` or transitively extends it.
+    pub fn is_subtype(&self, sub: &str, base: &str) -> bool {
+        if sub == base {
+            return true;
+        }
+        let types = self.inner.types.read();
+        let mut current = sub;
+        while let Some(def) = types.get(current) {
+            match &def.base {
+                Some(b) if b == base => return true,
+                Some(b) => current = b,
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// Finds a property definition on `service_type` or its bases.
+    fn find_prop(&self, service_type: &str, prop: &str) -> Option<PropDef> {
+        let types = self.inner.types.read();
+        let mut current = service_type;
+        loop {
+            let def = types.get(current)?;
+            if let Some(p) = def.property(prop) {
+                return Some(p.clone());
+            }
+            current = def.base.as_deref()?;
+        }
+    }
+
+    /// All property definitions visible on a type (own + inherited).
+    fn all_props(&self, service_type: &str) -> Vec<PropDef> {
+        let types = self.inner.types.read();
+        let mut out = Vec::new();
+        let mut current = Some(service_type.to_owned());
+        while let Some(name) = current {
+            let Some(def) = types.get(&name) else { break };
+            out.extend(def.properties.iter().cloned());
+            current = def.base.clone();
+        }
+        out
+    }
+
+    // ---- register (export side) -----------------------------------------
+
+    /// Exports an offer.
+    ///
+    /// # Errors
+    ///
+    /// Unknown type, undeclared or ill-typed properties, or missing
+    /// mandatory properties.
+    pub fn export(&self, request: ExportRequest) -> Result<OfferId> {
+        self.validate_props(&request.service_type, &request.properties, false)?;
+        for def in self.all_props(&request.service_type) {
+            if def.mode.is_mandatory() && !request.properties.iter().any(|(n, _)| *n == def.name) {
+                return Err(TradingError::MissingMandatoryProperty {
+                    service_type: request.service_type.clone(),
+                    property: def.name.clone(),
+                });
+            }
+        }
+        let n = self.inner.next_offer.fetch_add(1, Ordering::Relaxed);
+        let id = OfferId(format!("offer-{n}"));
+        let offer = ServiceOffer {
+            id: id.clone(),
+            service_type: request.service_type,
+            target: request.target,
+            properties: request.properties,
+        };
+        self.inner.offers.write().insert(n, offer);
+        Ok(id)
+    }
+
+    fn validate_props(
+        &self,
+        service_type: &str,
+        props: &[(String, PropValue)],
+        modifying: bool,
+    ) -> Result<()> {
+        if !self.inner.types.read().contains_key(service_type) {
+            return Err(TradingError::UnknownServiceType(service_type.to_owned()));
+        }
+        for (name, value) in props {
+            let def = self.find_prop(service_type, name).ok_or_else(|| {
+                TradingError::UnknownProperty {
+                    service_type: service_type.to_owned(),
+                    property: name.clone(),
+                }
+            })?;
+            if modifying && def.mode.is_readonly() {
+                return Err(TradingError::ReadonlyProperty(name.clone()));
+            }
+            if let PropValue::Static(v) = value {
+                if !def.type_code.accepts(v) {
+                    return Err(TradingError::PropertyTypeMismatch {
+                        property: name.clone(),
+                        expected: def.type_code.to_string(),
+                        found: v.kind().to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn offer_seq(id: &OfferId) -> Option<u64> {
+        id.as_str().strip_prefix("offer-")?.parse().ok()
+    }
+
+    /// Withdraws an offer.
+    ///
+    /// # Errors
+    ///
+    /// [`TradingError::UnknownOffer`].
+    pub fn withdraw(&self, id: &OfferId) -> Result<()> {
+        let seq = Self::offer_seq(id).ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
+        self.inner
+            .offers
+            .write()
+            .remove(&seq)
+            .map(|_| ())
+            .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))
+    }
+
+    /// Modifies (adds or replaces) properties of an existing offer.
+    ///
+    /// # Errors
+    ///
+    /// Unknown offer, readonly or ill-typed properties.
+    pub fn modify(&self, id: &OfferId, props: Vec<(String, PropValue)>) -> Result<()> {
+        let seq = Self::offer_seq(id).ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
+        let mut offers = self.inner.offers.write();
+        let offer = offers
+            .get_mut(&seq)
+            .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
+        let service_type = offer.service_type.clone();
+        drop(offers);
+        self.validate_props(&service_type, &props, true)?;
+        let mut offers = self.inner.offers.write();
+        let offer = offers
+            .get_mut(&seq)
+            .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
+        for (name, value) in props {
+            if let Some(slot) = offer.properties.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = value;
+            } else {
+                offer.properties.push((name, value));
+            }
+        }
+        Ok(())
+    }
+
+    /// Describes a registered offer.
+    ///
+    /// # Errors
+    ///
+    /// [`TradingError::UnknownOffer`].
+    pub fn describe(&self, id: &OfferId) -> Result<ServiceOffer> {
+        let seq = Self::offer_seq(id).ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
+        self.inner
+            .offers
+            .read()
+            .get(&seq)
+            .cloned()
+            .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))
+    }
+
+    /// All registered offers, in registration order.
+    pub fn list_offers(&self) -> Vec<ServiceOffer> {
+        self.inner.offers.read().values().cloned().collect()
+    }
+
+    // ---- federation ------------------------------------------------------
+
+    /// Links another trader; queries with remaining hops are forwarded.
+    pub fn add_link(&self, name: impl Into<String>, target: ObjRef) {
+        self.inner.links.write().push((name.into(), target));
+    }
+
+    /// Names of federation links.
+    pub fn link_names(&self) -> Vec<String> {
+        self.inner
+            .links
+            .read()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    // ---- lookup (import side) ---------------------------------------------
+
+    /// Runs an import query: resolve properties, filter by constraint,
+    /// order by preference, merge federated results, apply cardinality
+    /// policies.
+    ///
+    /// # Errors
+    ///
+    /// Unknown service type or illegal constraint/preference. Dynamic
+    /// properties that fail to evaluate are dropped from the offer
+    /// (possibly excluding it from the match, never failing the query).
+    pub fn query(&self, q: &Query) -> Result<Vec<OfferMatch>> {
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        if !self.inner.types.read().contains_key(&q.service_type) {
+            return Err(TradingError::UnknownServiceType(q.service_type.clone()));
+        }
+        let constraint = Constraint::parse(&q.constraint)?;
+        let preference = Preference::parse(&q.preference)?;
+
+        let candidates: Vec<ServiceOffer> = self
+            .inner
+            .offers
+            .read()
+            .values()
+            .filter(|offer| {
+                if q.policies.exact_type_match {
+                    offer.service_type == q.service_type
+                } else {
+                    self.is_subtype(&offer.service_type, &q.service_type)
+                }
+            })
+            .take(q.policies.search_card as usize)
+            .cloned()
+            .collect();
+
+        let mut matches: Vec<OfferMatch> = Vec::new();
+        for offer in candidates {
+            let (resolved, dynamic) = self.resolve_props(&offer, q.policies.use_dynamic_properties);
+            if constraint.matches(&resolved) {
+                matches.push(OfferMatch {
+                    id: offer.id.clone(),
+                    service_type: offer.service_type.clone(),
+                    target: offer.target.clone(),
+                    properties: resolved,
+                    dynamic,
+                });
+            }
+        }
+
+        // Federation: spend one hop per link traversal.
+        if q.policies.hop_count > 0 {
+            let links = self.inner.links.read().clone();
+            for (_name, target) in links {
+                let mut sub = q.clone();
+                sub.policies.hop_count -= 1;
+                let remote = RemoteTrader::new(self.inner.orb.proxy(&target));
+                if let Ok(remote_matches) = crate::servant::remote_query(&remote, &sub) {
+                    matches.extend(remote_matches);
+                }
+            }
+        }
+
+        let props: Vec<Vec<(String, Value)>> =
+            matches.iter().map(|m| m.properties.clone()).collect();
+        let mut shuffle = |order: &mut Vec<usize>| {
+            order.shuffle(&mut *self.inner.rng.lock());
+        };
+        let order = preference.order(&props, &mut shuffle);
+        let mut ordered: Vec<OfferMatch> = order.into_iter().map(|i| matches[i].clone()).collect();
+        ordered.truncate(q.policies.return_card as usize);
+        Ok(ordered)
+    }
+
+    /// Resolves an offer's properties, evaluating dynamic ones through
+    /// the orb when allowed. Also returns the eval refs of dynamic
+    /// properties so importers can subscribe to the monitors behind
+    /// them.
+    fn resolve_props(&self, offer: &ServiceOffer, use_dynamic: bool) -> ResolvedProps {
+        let mut out = Vec::with_capacity(offer.properties.len());
+        let mut dynamic = Vec::new();
+        for (name, value) in &offer.properties {
+            match value {
+                PropValue::Static(v) => out.push((name.clone(), v.clone())),
+                PropValue::Dynamic(eval_ref) => {
+                    dynamic.push((name.clone(), eval_ref.clone()));
+                    if !use_dynamic {
+                        continue;
+                    }
+                    match self.inner.orb.invoke_ref(
+                        eval_ref,
+                        "evalDP",
+                        vec![Value::from(name.as_str())],
+                    ) {
+                        Ok(v) => out.push((name.clone(), v)),
+                        Err(_) => {
+                            // OMG rule: a dynamic property that cannot be
+                            // evaluated is simply absent from the offer.
+                        }
+                    }
+                }
+            }
+        }
+        (out, dynamic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapta_idl::TypeCode;
+    use adapta_orb::ServantFn;
+
+    use crate::service_type::PropMode;
+
+    fn target(n: u32) -> ObjRef {
+        ObjRef::new("inproc://servers", format!("svc-{n}"), "Hello")
+    }
+
+    fn trader_with_type() -> (Orb, Trader) {
+        let orb = Orb::new("t-trader");
+        let trader = Trader::new(&orb);
+        trader
+            .add_type(
+                ServiceTypeDef::new("Hello")
+                    .with_property(PropDef::new(
+                        "LoadAvg",
+                        TypeCode::Double,
+                        PropMode::Mandatory,
+                    ))
+                    .with_property(PropDef::new("Host", TypeCode::Str, PropMode::Readonly))
+                    .with_property(PropDef::new("Cost", TypeCode::Double, PropMode::Normal)),
+            )
+            .unwrap();
+        (orb, trader)
+    }
+
+    fn export(trader: &Trader, n: u32, load: f64) -> OfferId {
+        trader
+            .export(
+                ExportRequest::new("Hello", target(n))
+                    .with_property("LoadAvg", Value::from(load))
+                    .with_property("Host", Value::from(format!("host{n}"))),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn export_query_min_preference() {
+        let (_orb, trader) = trader_with_type();
+        export(&trader, 1, 30.0);
+        export(&trader, 2, 10.0);
+        export(&trader, 3, 20.0);
+        let matches = trader
+            .query(
+                &Query::new("Hello")
+                    .constraint("LoadAvg < 25")
+                    .preference("min LoadAvg"),
+            )
+            .unwrap();
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].target, target(2));
+        assert_eq!(matches[1].target, target(3));
+    }
+
+    #[test]
+    fn export_validates_schema() {
+        let (_orb, trader) = trader_with_type();
+        // Unknown type.
+        assert!(matches!(
+            trader.export(ExportRequest::new("Nope", target(1))),
+            Err(TradingError::UnknownServiceType(_))
+        ));
+        // Missing mandatory LoadAvg.
+        assert!(matches!(
+            trader.export(ExportRequest::new("Hello", target(1))),
+            Err(TradingError::MissingMandatoryProperty { .. })
+        ));
+        // Wrong property type.
+        assert!(matches!(
+            trader.export(
+                ExportRequest::new("Hello", target(1))
+                    .with_property("LoadAvg", Value::from("high"))
+            ),
+            Err(TradingError::PropertyTypeMismatch { .. })
+        ));
+        // Undeclared property.
+        assert!(matches!(
+            trader.export(
+                ExportRequest::new("Hello", target(1))
+                    .with_property("LoadAvg", Value::from(1.0))
+                    .with_property("Bogus", Value::from(1.0))
+            ),
+            Err(TradingError::UnknownProperty { .. })
+        ));
+    }
+
+    #[test]
+    fn withdraw_removes_offer() {
+        let (_orb, trader) = trader_with_type();
+        let id = export(&trader, 1, 5.0);
+        trader.withdraw(&id).unwrap();
+        assert!(trader.query(&Query::new("Hello")).unwrap().is_empty());
+        assert!(matches!(
+            trader.withdraw(&id),
+            Err(TradingError::UnknownOffer(_))
+        ));
+    }
+
+    #[test]
+    fn modify_respects_readonly() {
+        let (_orb, trader) = trader_with_type();
+        let id = export(&trader, 1, 5.0);
+        trader
+            .modify(&id, vec![("LoadAvg".into(), Value::from(9.0).into())])
+            .unwrap();
+        assert_eq!(
+            trader.query(&Query::new("Hello")).unwrap()[0].prop("LoadAvg"),
+            Some(&Value::from(9.0))
+        );
+        assert!(matches!(
+            trader.modify(&id, vec![("Host".into(), Value::from("x").into())]),
+            Err(TradingError::ReadonlyProperty(_))
+        ));
+        // Adding a declared-but-absent property is allowed.
+        trader
+            .modify(&id, vec![("Cost".into(), Value::from(1.0).into())])
+            .unwrap();
+    }
+
+    #[test]
+    fn subtype_offers_match_base_queries() {
+        let (_orb, trader) = trader_with_type();
+        trader
+            .add_type(ServiceTypeDef::new("FancyHello").extends("Hello"))
+            .unwrap();
+        trader
+            .export(
+                ExportRequest::new("FancyHello", target(9))
+                    .with_property("LoadAvg", Value::from(1.0)),
+            )
+            .unwrap();
+        assert_eq!(trader.query(&Query::new("Hello")).unwrap().len(), 1);
+        assert_eq!(
+            trader
+                .query(&Query::new("Hello").exact_type(true))
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unknown_base_type_is_rejected() {
+        let (_orb, trader) = trader_with_type();
+        assert!(matches!(
+            trader.add_type(ServiceTypeDef::new("X").extends("Nope")),
+            Err(TradingError::UnknownServiceType(_))
+        ));
+        assert!(matches!(
+            trader.add_type(ServiceTypeDef::new("Hello")),
+            Err(TradingError::DuplicateServiceType(_))
+        ));
+    }
+
+    #[test]
+    fn return_card_truncates() {
+        let (_orb, trader) = trader_with_type();
+        for i in 0..10 {
+            export(&trader, i, i as f64);
+        }
+        let matches = trader
+            .query(&Query::new("Hello").preference("min LoadAvg").return_card(3))
+            .unwrap();
+        assert_eq!(matches.len(), 3);
+        assert_eq!(matches[0].prop("LoadAvg"), Some(&Value::from(0.0)));
+    }
+
+    #[test]
+    fn dynamic_properties_are_evaluated_at_query_time() {
+        let orb = Orb::new("t-trader-dyn");
+        let trader = Trader::new(&orb);
+        trader
+            .add_type(ServiceTypeDef::new("Svc").with_property(PropDef::new(
+                "Load",
+                TypeCode::Double,
+                PropMode::Normal,
+            )))
+            .unwrap();
+        let load = Arc::new(Mutex::new(10.0f64));
+        let load_clone = load.clone();
+        let eval_ref = orb
+            .activate(
+                "dp",
+                ServantFn::new("DynamicPropEval", move |op, _args| match op {
+                    "evalDP" => Ok(Value::Double(*load_clone.lock())),
+                    other => Err(adapta_orb::OrbError::unknown_operation(
+                        "DynamicPropEval",
+                        other,
+                    )),
+                }),
+            )
+            .unwrap();
+        trader
+            .export(ExportRequest::new("Svc", target(1)).with_dynamic_property("Load", eval_ref))
+            .unwrap();
+        let q = Query::new("Svc").constraint("Load < 50");
+        assert_eq!(trader.query(&q).unwrap().len(), 1);
+        *load.lock() = 90.0;
+        assert_eq!(trader.query(&q).unwrap().len(), 0);
+        // With dynamic evaluation disabled the property is absent and the
+        // constraint fails closed.
+        assert_eq!(
+            trader.query(&q.clone().use_dynamic(false)).unwrap().len(),
+            0
+        );
+    }
+
+    #[test]
+    fn dead_dynamic_property_excludes_offer_not_query() {
+        let orb = Orb::new("t-trader-deaddyn");
+        let trader = Trader::new(&orb);
+        trader
+            .add_type(ServiceTypeDef::new("Svc").with_property(PropDef::new(
+                "Load",
+                TypeCode::Double,
+                PropMode::Normal,
+            )))
+            .unwrap();
+        let dead = ObjRef::new("inproc://vanished-node", "dp", "DynamicPropEval");
+        trader
+            .export(ExportRequest::new("Svc", target(1)).with_dynamic_property("Load", dead))
+            .unwrap();
+        trader
+            .export(ExportRequest::new("Svc", target(2)).with_property("Load", Value::from(1.0)))
+            .unwrap();
+        let matches = trader
+            .query(&Query::new("Svc").constraint("Load < 50"))
+            .unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].target, target(2));
+    }
+
+    #[test]
+    fn random_preference_is_seed_deterministic() {
+        let (_orb, trader) = trader_with_type();
+        for i in 0..5 {
+            export(&trader, i, i as f64);
+        }
+        trader.reseed(42);
+        let a: Vec<_> = trader
+            .query(&Query::new("Hello").preference("random"))
+            .unwrap()
+            .iter()
+            .map(|m| m.id.clone())
+            .collect();
+        trader.reseed(42);
+        let b: Vec<_> = trader
+            .query(&Query::new("Hello").preference("random"))
+            .unwrap()
+            .iter()
+            .map(|m| m.id.clone())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn describe_and_list() {
+        let (_orb, trader) = trader_with_type();
+        let id = export(&trader, 1, 5.0);
+        let offer = trader.describe(&id).unwrap();
+        assert_eq!(offer.service_type, "Hello");
+        assert_eq!(trader.list_offers().len(), 1);
+        assert!(trader.describe(&OfferId::from_string("offer-999")).is_err());
+        assert!(trader.describe(&OfferId::from_string("bogus")).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the constraint language and preferences: parsing
+//! and evaluation are total, and preference ordering is a permutation.
+
+use adapta_idl::Value;
+use adapta_trading::{Constraint, Preference};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn props_strategy() -> impl Strategy<Value = HashMap<String, Value>> {
+    proptest::collection::hash_map(
+        "[A-Za-z][A-Za-z0-9_]{0,8}",
+        prop_oneof![
+            any::<f64>().prop_map(Value::Double),
+            any::<i64>().prop_map(Value::Long),
+            any::<bool>().prop_map(Value::Bool),
+            "[a-z]{0,8}".prop_map(Value::from),
+        ],
+        0..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(src in ".{0,80}") {
+        let _ = Constraint::parse(&src);
+        let _ = Preference::parse(&src);
+    }
+
+    #[test]
+    fn evaluation_is_total(
+        src in prop_oneof![
+            Just("LoadAvg < 50".to_owned()),
+            Just("A == B and not (C > 2) or exist D".to_owned()),
+            Just("A + B * 2 - C / 4 >= D".to_owned()),
+            Just("Host ~ 'node' and LoadAvgIncreasing == no".to_owned()),
+            Just("TRUE or A < B".to_owned()),
+            Just("-A <= 0".to_owned()),
+        ],
+        props in props_strategy(),
+    ) {
+        let c = Constraint::parse(&src).expect("fixed constraints parse");
+        // Never panics; any boolean outcome is acceptable.
+        let _ = c.matches(&props);
+    }
+
+    #[test]
+    fn preference_order_is_a_permutation(
+        pref in prop_oneof![
+            Just("min LoadAvg".to_owned()),
+            Just("max LoadAvg".to_owned()),
+            Just("with LoadAvg < 50".to_owned()),
+            Just("first".to_owned()),
+        ],
+        loads in proptest::collection::vec(
+            proptest::option::of(any::<f64>().prop_filter("finite", |f| f.is_finite())),
+            0..12,
+        ),
+    ) {
+        let p = Preference::parse(&pref).unwrap();
+        let props: Vec<Vec<(String, Value)>> = loads
+            .iter()
+            .map(|load| match load {
+                Some(l) => vec![("LoadAvg".to_owned(), Value::Double(*l))],
+                None => vec![],
+            })
+            .collect();
+        let mut shuffle = |_: &mut Vec<usize>| {};
+        let order = p.order(&props, &mut shuffle);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..props.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_preference_is_monotone(
+        loads in proptest::collection::vec(
+            (0u32..1000).prop_map(|n| n as f64 / 10.0),
+            1..12,
+        ),
+    ) {
+        let p = Preference::parse("min LoadAvg").unwrap();
+        let props: Vec<Vec<(String, Value)>> = loads
+            .iter()
+            .map(|l| vec![("LoadAvg".to_owned(), Value::Double(*l))])
+            .collect();
+        let mut shuffle = |_: &mut Vec<usize>| {};
+        let order = p.order(&props, &mut shuffle);
+        for pair in order.windows(2) {
+            prop_assert!(loads[pair[0]] <= loads[pair[1]]);
+        }
+    }
+
+    #[test]
+    fn numeric_comparison_agrees_with_rust(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let props: HashMap<String, Value> = [
+            ("A".to_owned(), Value::Double(a)),
+            ("B".to_owned(), Value::Double(b)),
+        ]
+        .into_iter()
+        .collect();
+        let check = |src: &str, expected: bool| {
+            let c = Constraint::parse(src).unwrap();
+            assert_eq!(c.matches(&props), expected, "{src} with a={a} b={b}");
+        };
+        check("A < B", a < b);
+        check("A <= B", a <= b);
+        check("A == B", a == b);
+        check("A != B", a != b);
+        check("A >= B", a >= b);
+        check("A > B", a > b);
+    }
+}

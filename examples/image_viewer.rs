@@ -1,0 +1,89 @@
+//! The paper's second validation app: the QuO-derived image viewer.
+//!
+//! "In this application, the client requests images from the server and
+//! displays them on the screen. Because the reconfiguration facilities
+//! are transparent to the applications' functional behavior, we could
+//! use the same adaptation code we used in the HelloWorld application."
+//!
+//! This example demonstrates exactly that: the adaptation setup below
+//! is byte-for-byte the one `quickstart.rs` uses — only the functional
+//! calls (`getImage` instead of `hello`) differ. The Bette Davis
+//! photographs of the QuO distribution are substituted by deterministic
+//! synthetic payloads.
+//!
+//! Run with: `cargo run --example image_viewer`
+
+use std::time::Duration;
+
+use adapta::core::{Infrastructure, ServerSpec, SmartProxy, Subscription};
+use adapta::idl::Value;
+
+/// The same adaptation code as the HelloWorld example — reused verbatim
+/// (the paper's transparency claim).
+fn adaptive_proxy(
+    infra: &Infrastructure,
+    service_type: &str,
+) -> Result<SmartProxy, Box<dyn std::error::Error>> {
+    Ok(infra
+        .smart_proxy(service_type)
+        .constraint("LoadAvg < 4 and LoadAvgIncreasing == no")
+        .preference("min LoadAvg")
+        .subscribe(Subscription::new(
+            "LoadAvg",
+            "LoadIncrease",
+            r#"function(observer, value, monitor)
+                local incr
+                incr = monitor:getAspectValue("Increasing")
+                return value[1] > 4 and incr == "yes"
+            end"#,
+        ))
+        .build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let infra = Infrastructure::in_process()?;
+    for host in ["gallery1", "gallery2"] {
+        infra.spawn_server(ServerSpec::image("ImageService", host, 8, 64 * 1024))?;
+    }
+
+    let viewer = adaptive_proxy(&infra, "ImageService")?;
+
+    let count = viewer.invoke("imageCount", vec![])?;
+    println!("server offers {count} images");
+
+    // "Display" the slideshow; halfway through, the serving gallery
+    // gets overloaded and the viewer migrates mid-slideshow.
+    let count = count.as_long().unwrap_or(0);
+    let mut served_by = Vec::new();
+    for i in 0..count {
+        if i == count / 2 {
+            let bound = viewer.invoke("whoami", vec![])?;
+            println!("… load spike on {bound} after image {i}");
+            infra.set_background(bound.as_str().unwrap(), 8.0);
+            infra.advance_in_steps(Duration::from_secs(180), Duration::from_secs(30));
+        }
+        let image = viewer.invoke("getImage", vec![Value::Long(i)])?;
+        let bytes = image.as_bytes().expect("image payload");
+        let host = viewer.invoke("whoami", vec![])?;
+        // A realistic viewer would render; we checksum.
+        let checksum: u32 = bytes
+            .iter()
+            .fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(*b as u32));
+        println!(
+            "image {i}: {} bytes, checksum {checksum:08x}, from {host}",
+            bytes.len()
+        );
+        served_by.push(host.as_str().unwrap().to_owned());
+    }
+
+    let first = &served_by[0];
+    let last = served_by.last().unwrap();
+    assert_ne!(first, last, "the slideshow should have migrated galleries");
+    println!(
+        "\nslideshow started on {first} and finished on {last} — adaptation was \
+         transparent to the viewer code ({} rebinds, {} events)",
+        viewer.rebinds(),
+        viewer.events_received()
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: the paper's HelloWorld validation app.
+//!
+//! One process hosts a trader, three "hosts" each running a HelloWorld
+//! server with a Figure-3 LoadAverage monitor, and one client whose
+//! smart proxy selects the least-loaded server and adapts when load
+//! shifts — while the client keeps calling plain `hello()`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::time::Duration;
+
+use adapta::core::{Infrastructure, ServerSpec, Subscription};
+use adapta::idl::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The infrastructure: trader + virtual clock, all in-process.
+    let infra = Infrastructure::in_process()?;
+
+    // 2. Three hosts offering HelloService, each announced by its
+    //    service agent with the LoadAvg dynamic property.
+    for host in ["rio", "gavea", "leblon"] {
+        infra.spawn_server(ServerSpec::echo("HelloService", host))?;
+    }
+
+    // 3. A smart proxy: requirements are *nonfunctional* — low load,
+    //    least-loaded first — and a monitor subscription with the
+    //    paper's event predicate, shipped as code to the monitor.
+    let proxy = infra
+        .smart_proxy("HelloService")
+        .constraint("LoadAvg < 4 and LoadAvgIncreasing == no")
+        .preference("min LoadAvg")
+        .subscribe(Subscription::new(
+            "LoadAvg",
+            "LoadIncrease",
+            r#"function(observer, value, monitor)
+                local incr
+                incr = monitor:getAspectValue("Increasing")
+                return value[1] > 4 and incr == "yes"
+            end"#,
+        ))
+        .build()?;
+
+    // 4. The functional code: it just says hello. All adaptation is the
+    //    proxy's business.
+    let hello = |label: &str| -> Result<(), Box<dyn std::error::Error>> {
+        let reply = proxy.invoke("hello", vec![Value::from("world")])?;
+        let host = proxy.invoke("whoami", vec![])?;
+        println!("[{label}] {reply} (served by {host})");
+        Ok(())
+    };
+
+    hello("t=0, all idle")?;
+
+    // Someone starts a heavy build on the bound host…
+    let bound = proxy.invoke("whoami", vec![])?;
+    let bound = bound.as_str().unwrap().to_owned();
+    println!("… injecting background load on {bound}");
+    infra.set_background(&bound, 8.0);
+    infra.advance_in_steps(Duration::from_secs(180), Duration::from_secs(30));
+
+    // …and the next call transparently lands somewhere calmer.
+    hello("t=3min, after load spike")?;
+
+    println!(
+        "proxy stats: {} invocations, {} events, {} rebinds",
+        proxy.invocations(),
+        proxy.events_received(),
+        proxy.rebinds()
+    );
+    assert_ne!(proxy.invoke("whoami", vec![])?, Value::from(bound));
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # adapta — dynamic support for distributed auto-adaptive applications
+//!
+//! `adapta` is a Rust reproduction of the infrastructure described in
+//! *"Dynamic Support for Distributed Auto-Adaptive Applications"*
+//! (de Moura, Ururahy, Cerqueira, Rodriguez — ICDCS 2002 workshops): a
+//! middleware stack that lets distributed, component-based applications
+//!
+//! * **select** the components that best suit their nonfunctional
+//!   requirements through a [trading service](trading),
+//! * **monitor** those requirements over time through an extensible
+//!   [monitoring mechanism](monitor) with dynamically-installed aspects
+//!   and remote-evaluated event predicates, and
+//! * **react** to changes through [smart proxies](core::SmartProxy) whose
+//!   adaptation strategies are written in an embedded interpreted
+//!   language, [Rua](script), and can be replaced at run time.
+//!
+//! The original system was built on Lua + CORBA (LuaCorba). This
+//! workspace implements every substrate from scratch: the [`script`]
+//! interpreter, the [`idl`] type system, a dynamic [`orb`], the
+//! [`trading`] service, the [`monitor`] mechanism, the adaptation
+//! [`core`], and a deterministic [`sim`]ulation substrate used by the
+//! experiment harness.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the paper's HelloWorld scenario; the
+//! short version:
+//!
+//! ```
+//! use adapta::core::{Infrastructure, ServerSpec};
+//! use adapta::idl::Value;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One process hosting a trader, two servers and a client.
+//! let infra = Infrastructure::in_process()?;
+//! for name in ["hostA", "hostB"] {
+//!     infra.spawn_server(ServerSpec::echo("HelloService", name))?;
+//! }
+//! let proxy = infra
+//!     .smart_proxy("HelloService")
+//!     .constraint("LoadAvg < 50")
+//!     .preference("min LoadAvg")
+//!     .build()?;
+//! let reply = proxy.invoke("hello", vec![Value::from("world")])?;
+//! assert_eq!(reply, Value::from("hello, world"));
+//! # Ok(())
+//! # }
+//! ```
+#![doc(html_root_url = "https://docs.rs/adapta")]
+
+pub use adapta_core as core;
+pub use adapta_idl as idl;
+pub use adapta_monitor as monitor;
+pub use adapta_orb as orb;
+pub use adapta_script as script;
+pub use adapta_sim as sim;
+pub use adapta_trading as trading;

@@ -1,0 +1,246 @@
+//! Adaptation-behaviour tests: postponed vs. immediate event handling,
+//! dynamic strategy replacement, failure injection, and the paper's
+//! transparency claim (the same adaptation code across different
+//! functional interfaces).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adapta::core::{
+    policies::{load_sharing_proxy, BindingPolicy, LoadSharingConfig},
+    Infrastructure, ServerSpec, Subscription,
+};
+use adapta::idl::Value;
+
+fn two_server_infra(service: &str, a: &str, b: &str) -> Infrastructure {
+    let infra = Infrastructure::in_process().unwrap();
+    infra.spawn_server(ServerSpec::echo(service, a)).unwrap();
+    infra.spawn_server(ServerSpec::echo(service, b)).unwrap();
+    infra
+}
+
+#[test]
+fn postponed_handling_defers_to_next_invocation() {
+    let infra = two_server_infra("PostSvc", "post-a", "post-b");
+    let hits = Arc::new(AtomicUsize::new(0));
+    let hits_clone = hits.clone();
+    let proxy = infra
+        .smart_proxy("PostSvc")
+        .preference("min LoadAvg")
+        .subscribe(Subscription::new(
+            "LoadAvg",
+            "LoadIncrease",
+            "function(o, v, m) return v[1] > 1 end",
+        ))
+        .strategy_native("LoadIncrease", move |_proxy, _event| {
+            hits_clone.fetch_add(1, Ordering::Relaxed);
+        })
+        .build()
+        .unwrap();
+    let bound = proxy.invoke("whoami", vec![]).unwrap();
+    infra.set_background(bound.as_str().unwrap(), 4.0);
+    infra.advance_in_steps(Duration::from_secs(120), Duration::from_secs(30));
+
+    // Events arrived but the strategy has NOT run yet: postponed.
+    assert!(proxy.pending_events() > 0);
+    assert_eq!(hits.load(Ordering::Relaxed), 0);
+
+    // The next invocation drains the queue first.
+    proxy.invoke("hello", vec![Value::from("x")]).unwrap();
+    assert_eq!(proxy.pending_events(), 0);
+    assert!(hits.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn immediate_handling_runs_at_notification_time() {
+    let infra = two_server_infra("ImmSvc", "imm-a", "imm-b");
+    let hits = Arc::new(AtomicUsize::new(0));
+    let hits_clone = hits.clone();
+    let proxy = infra
+        .smart_proxy("ImmSvc")
+        .preference("min LoadAvg")
+        .immediate_handling()
+        .subscribe(Subscription::new(
+            "LoadAvg",
+            "LoadIncrease",
+            "function(o, v, m) return v[1] > 1 end",
+        ))
+        .strategy_native("LoadIncrease", move |_proxy, _event| {
+            hits_clone.fetch_add(1, Ordering::Relaxed);
+        })
+        .build()
+        .unwrap();
+    let bound = proxy.invoke("whoami", vec![]).unwrap();
+    infra.set_background(bound.as_str().unwrap(), 4.0);
+    infra.advance_in_steps(Duration::from_secs(120), Duration::from_secs(30));
+
+    // No invocation needed: the strategy already ran.
+    assert_eq!(proxy.pending_events(), 0);
+    assert!(hits.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn strategies_hot_swap_without_stopping_the_client() {
+    let infra = two_server_infra("SwapSvc", "swap-a", "swap-b");
+    let proxy = infra
+        .smart_proxy("SwapSvc")
+        .preference("min LoadAvg")
+        .subscribe(Subscription::new(
+            "LoadAvg",
+            "LoadIncrease",
+            "function(o, v, m) return v[1] > 1 end",
+        ))
+        .build()
+        .unwrap();
+
+    // Version 1 of the strategy: count events in script state.
+    proxy
+        .set_strategy_script(
+            "LoadIncrease",
+            "function(self, event) v1_count = (v1_count or 0) + 1 end",
+        )
+        .unwrap();
+    let bound = proxy.invoke("whoami", vec![]).unwrap();
+    infra.set_background(bound.as_str().unwrap(), 4.0);
+    infra.advance_in_steps(Duration::from_secs(90), Duration::from_secs(30));
+    proxy.invoke("hello", vec![Value::from("x")]).unwrap();
+    let v1 = proxy.actor().eval("return v1_count or 0").unwrap();
+    assert!(matches!(v1[0], Value::Long(n) if n > 0));
+
+    // Hot swap: version 2 replaces version 1 — no rebuild, no restart.
+    proxy
+        .set_strategy_script(
+            "LoadIncrease",
+            "function(self, event) v2_count = (v2_count or 0) + 1 end",
+        )
+        .unwrap();
+    infra.advance_in_steps(Duration::from_secs(90), Duration::from_secs(30));
+    proxy.invoke("hello", vec![Value::from("x")]).unwrap();
+    let v1_after = proxy.actor().eval("return v1_count or 0").unwrap();
+    let v2 = proxy.actor().eval("return v2_count or 0").unwrap();
+    assert_eq!(v1, v1_after, "old strategy must not run after the swap");
+    assert!(matches!(v2[0], Value::Long(n) if n > 0));
+}
+
+#[test]
+fn adapt_now_applies_strategies_on_demand() {
+    // "A smart proxy can also explicitly activate the adaptation
+    // strategies that it implements, independently of received events."
+    let infra = two_server_infra("NowSvc", "now-a", "now-b");
+    let hits = Arc::new(AtomicUsize::new(0));
+    let hits_clone = hits.clone();
+    let proxy = infra
+        .smart_proxy("NowSvc")
+        .strategy_native("Tune", move |_p, event| {
+            assert_eq!(event, "Tune");
+            hits_clone.fetch_add(1, Ordering::Relaxed);
+        })
+        .build()
+        .unwrap();
+    proxy.adapt_now("Tune");
+    assert_eq!(hits.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn withdrawn_offers_stop_being_selected() {
+    let infra = two_server_infra("WdSvc", "wd-a", "wd-b");
+    let a = infra.server("wd-a").unwrap();
+    a.withdraw();
+    let proxy = infra
+        .smart_proxy("WdSvc")
+        .preference("min LoadAvg")
+        .build()
+        .unwrap();
+    assert_eq!(proxy.invoke("whoami", vec![]).unwrap(), Value::from("wd-b"));
+}
+
+#[test]
+fn all_servers_dead_is_a_clean_error() {
+    let infra = two_server_infra("DeadSvc", "dead-a", "dead-b");
+    let proxy = infra.smart_proxy("DeadSvc").build().unwrap();
+    infra.server("dead-a").unwrap().crash();
+    infra.server("dead-b").unwrap().crash();
+    let err = proxy.invoke("hello", vec![Value::from("x")]).unwrap_err();
+    // Either unbound (no live replacement) or the second server's
+    // failure surfaced — but never a panic or a hang.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("unbound") || msg.contains("no object"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn same_adaptation_code_reused_across_applications() {
+    // Section V: "Because the reconfiguration facilities are transparent
+    // to the applications' functional behavior, we could use the same
+    // adaptation code we used in the HelloWorld application" for the
+    // image viewer. Here: identical policy construction for both
+    // service types; only the functional calls differ.
+    let infra = Infrastructure::in_process().unwrap();
+    for host in ["hello-1", "hello-2"] {
+        infra
+            .spawn_server(ServerSpec::echo("HelloWorld", host))
+            .unwrap();
+    }
+    for host in ["img-1", "img-2"] {
+        infra
+            .spawn_server(ServerSpec::image("ImageService", host, 4, 128))
+            .unwrap();
+    }
+    let config = LoadSharingConfig::with_threshold(3.0);
+    let build = |service_type: &str| {
+        load_sharing_proxy(
+            infra.orb(),
+            infra.repository(),
+            Arc::new(infra.trader().clone()),
+            service_type,
+            BindingPolicy::AutoAdaptive,
+            config,
+        )
+        .unwrap()
+    };
+    let hello = build("HelloWorld");
+    let viewer = build("ImageService");
+
+    assert_eq!(
+        hello.invoke("hello", vec![Value::from("ana")]).unwrap(),
+        Value::from("hello, ana")
+    );
+    let img = viewer.invoke("getImage", vec![Value::Long(0)]).unwrap();
+    assert_eq!(img.as_bytes().unwrap().len(), 128);
+
+    // Both adapt with the same strategy code when their host overloads.
+    for proxy in [&hello, &viewer] {
+        let bound = proxy.invoke("whoami", vec![]).unwrap();
+        infra.set_background(bound.as_str().unwrap(), 6.0);
+    }
+    infra.advance_in_steps(Duration::from_secs(240), Duration::from_secs(30));
+    let hello_after = hello.invoke("whoami", vec![]).unwrap();
+    let viewer_after = viewer.invoke("whoami", vec![]).unwrap();
+    assert_eq!(hello_after, Value::from("hello-2"));
+    assert_eq!(viewer_after, Value::from("img-2"));
+}
+
+#[test]
+fn events_are_counted_and_observable() {
+    let infra = two_server_infra("CntSvc", "cnt-a", "cnt-b");
+    let proxy = infra
+        .smart_proxy("CntSvc")
+        .preference("min LoadAvg")
+        .subscribe(Subscription::new(
+            "LoadAvg",
+            "LoadIncrease",
+            "function(o, v, m) return v[1] > 1 end",
+        ))
+        .build()
+        .unwrap();
+    let bound = proxy.invoke("whoami", vec![]).unwrap();
+    infra.set_background(bound.as_str().unwrap(), 4.0);
+    infra.advance_in_steps(Duration::from_secs(150), Duration::from_secs(30));
+    assert!(proxy.events_received() > 0);
+    proxy.invoke("hello", vec![Value::from("x")]).unwrap();
+    assert!(proxy.events_handled() > 0);
+    assert!(proxy.invocations() >= 2);
+}

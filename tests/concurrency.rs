@@ -1,0 +1,146 @@
+//! Thread-safety smoke tests: concurrent clients hammering smart
+//! proxies, monitors ticking from another thread, notifications racing
+//! with invocations. None of these have deterministic outcomes to
+//! assert beyond "no deadlock, no panic, counters add up".
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adapta::core::{Infrastructure, ServerSpec, Subscription};
+use adapta::idl::Value;
+
+#[test]
+fn many_threads_share_one_smart_proxy() {
+    let infra = Infrastructure::in_process().unwrap();
+    for host in ["conc-a", "conc-b"] {
+        infra
+            .spawn_server(ServerSpec::echo("ConcSvc", host))
+            .unwrap();
+    }
+    let proxy = infra
+        .smart_proxy("ConcSvc")
+        .preference("min LoadAvg")
+        .build()
+        .unwrap();
+
+    const THREADS: usize = 8;
+    const CALLS: usize = 50;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let proxy = proxy.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..CALLS {
+                let out = proxy
+                    .invoke("echo", vec![Value::Long((t * CALLS + i) as i64)])
+                    .expect("invoke under concurrency");
+                assert_eq!(out, Value::Long((t * CALLS + i) as i64));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(proxy.invocations(), (THREADS * CALLS) as u64);
+}
+
+#[test]
+fn invocations_race_with_monitor_ticks_and_events() {
+    let infra = Infrastructure::in_process().unwrap();
+    for host in ["race-a", "race-b", "race-c"] {
+        infra
+            .spawn_server(ServerSpec::echo("RaceSvc", host))
+            .unwrap();
+    }
+    let proxy = infra
+        .smart_proxy("RaceSvc")
+        .preference("min LoadAvg")
+        .subscribe(Subscription::new(
+            "LoadAvg",
+            "LoadIncrease",
+            "function(o, v, m) return v[1] > 0.5 end",
+        ))
+        .build()
+        .unwrap();
+
+    // One thread advances time and ticks monitors (generating events),
+    // while others invoke through the proxy (draining + rebinding).
+    let infra_ticker = infra.clone();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_ticker = stop.clone();
+    let ticker = std::thread::spawn(move || {
+        let mut phase = 0u64;
+        while !stop_ticker.load(std::sync::atomic::Ordering::Relaxed) {
+            phase += 1;
+            for (i, server) in infra_ticker.servers().into_iter().enumerate() {
+                let jobs = if (phase / 3) % 3 == i as u64 {
+                    4.0
+                } else {
+                    0.0
+                };
+                server.sim_host().set_background(infra_ticker.now(), jobs);
+            }
+            infra_ticker.advance(Duration::from_secs(30));
+            std::thread::yield_now();
+        }
+    });
+
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let proxy = proxy.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..100 {
+                proxy
+                    .invoke("hello", vec![Value::from("race")])
+                    .expect("invoke during adaptation");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    ticker.join().unwrap();
+    assert!(proxy.invocations() >= 400);
+    // Events were flowing while we invoked.
+    assert!(
+        proxy.events_received() > 0,
+        "ticker should have caused events"
+    );
+}
+
+#[test]
+fn concurrent_strategy_swaps_are_safe() {
+    let infra = Infrastructure::in_process().unwrap();
+    infra
+        .spawn_server(ServerSpec::echo("SwapRace", "swaprace-a"))
+        .unwrap();
+    let proxy = infra.smart_proxy("SwapRace").build().unwrap();
+
+    let swapper = {
+        let proxy = proxy.clone();
+        std::thread::spawn(move || {
+            for i in 0..50 {
+                proxy
+                    .set_strategy_script(
+                        "E",
+                        &format!("function(self, event) generation = {i} end"),
+                    )
+                    .expect("swap strategy");
+            }
+        })
+    };
+    let invoker = {
+        let proxy = proxy.clone();
+        std::thread::spawn(move || {
+            for _ in 0..50 {
+                proxy.adapt_now("E");
+                proxy.invoke("hello", vec![Value::from("x")]).unwrap();
+            }
+        })
+    };
+    swapper.join().unwrap();
+    invoker.join().unwrap();
+    // The actor's state reflects some generation; nothing wedged.
+    let gen = proxy.actor().eval("return generation or -1").unwrap();
+    assert!(matches!(gen[0], Value::Long(_)));
+}
