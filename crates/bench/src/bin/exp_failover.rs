@@ -109,4 +109,6 @@ fn main() {
         "\n(the smart proxy absorbs the failure inside the failing invocation:\n\
          zero observed errors; the plain proxy fails for the rest of the run)"
     );
+
+    adapta_bench::finish("exp_failover");
 }

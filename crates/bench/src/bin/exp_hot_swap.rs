@@ -124,4 +124,6 @@ fn main() {
         v1 > 0 && v2 > 0 && v3 > 0,
         "all three versions must have run"
     );
+
+    adapta_bench::finish("exp_hot_swap");
 }

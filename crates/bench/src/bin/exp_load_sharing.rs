@@ -17,53 +17,38 @@ use std::time::Duration;
 
 use adapta_bench::{run_load_sharing, LoadSharingParams, Table};
 use adapta_core::policies::BindingPolicy;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct JsonRow {
-    policy: &'static str,
-    mean_ms: f64,
-    p50_ms: f64,
-    p95_ms: f64,
-    p99_ms: f64,
-    imbalance: f64,
-    per_server_requests: Vec<u64>,
-    rebinds: u64,
-    events: u64,
-    trader_queries: u64,
-    completed: u64,
-}
+use adapta_telemetry::json::{Arr, Obj};
 
 fn main() {
     let json_mode = std::env::args().any(|a| a == "--json");
     if json_mode {
-        let rows: Vec<JsonRow> = BindingPolicy::ALL
-            .iter()
-            .map(|&policy| {
-                let params = LoadSharingParams {
-                    policy,
-                    ..LoadSharingParams::default()
-                };
-                let mut out = run_load_sharing(&params);
-                JsonRow {
-                    policy: policy.label(),
-                    mean_ms: out.latency.mean().as_secs_f64() * 1e3,
-                    p50_ms: out.latency.quantile(0.50).as_secs_f64() * 1e3,
-                    p95_ms: out.latency.quantile(0.95).as_secs_f64() * 1e3,
-                    p99_ms: out.latency.quantile(0.99).as_secs_f64() * 1e3,
-                    imbalance: out.imbalance(),
-                    per_server_requests: out.per_server_requests.clone(),
-                    rebinds: out.rebinds,
-                    events: out.events,
-                    trader_queries: out.trader_queries,
-                    completed: out.completed,
-                }
-            })
-            .collect();
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serialise")
-        );
+        let mut rows = Arr::new();
+        for &policy in BindingPolicy::ALL.iter() {
+            let params = LoadSharingParams {
+                policy,
+                ..LoadSharingParams::default()
+            };
+            let mut out = run_load_sharing(&params);
+            let mut servers = Arr::new();
+            for &n in &out.per_server_requests {
+                servers = servers.u64(n);
+            }
+            let row = Obj::new()
+                .str("policy", policy.label())
+                .f64("mean_ms", out.latency.mean().as_secs_f64() * 1e3)
+                .f64("p50_ms", out.latency.quantile(0.50).as_secs_f64() * 1e3)
+                .f64("p95_ms", out.latency.quantile(0.95).as_secs_f64() * 1e3)
+                .f64("p99_ms", out.latency.quantile(0.99).as_secs_f64() * 1e3)
+                .f64("imbalance", out.imbalance())
+                .raw("per_server_requests", &servers.finish())
+                .u64("rebinds", out.rebinds)
+                .u64("events", out.events)
+                .u64("trader_queries", out.trader_queries)
+                .u64("completed", out.completed)
+                .finish();
+            rows = rows.raw(&row);
+        }
+        println!("{}", rows.finish());
         return;
     }
 
@@ -175,4 +160,6 @@ fn main() {
         ]);
     }
     open.print();
+
+    adapta_bench::finish("exp_load_sharing");
 }

@@ -203,4 +203,6 @@ fn main() {
          event strategy gets both: O(detections) messages and detection\n\
          within one monitor period)"
     );
+
+    adapta_bench::finish("exp_monitoring");
 }

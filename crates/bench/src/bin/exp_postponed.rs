@@ -152,4 +152,6 @@ fn main() {
          even between invocations; postponement bounds it by the client's\n\
          own call rate — the paper's rationale, made measurable)"
     );
+
+    adapta_bench::finish("exp_postponed");
 }

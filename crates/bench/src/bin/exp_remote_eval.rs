@@ -158,4 +158,6 @@ fn main() {
         "\nremote evaluation reduces monitor→client interactions by {factor:.1}x \
          on this trace\n(every delivery in the remote-eval row is an actual event)"
     );
+
+    adapta_bench::finish("exp_remote_eval");
 }

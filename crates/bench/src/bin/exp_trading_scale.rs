@@ -140,4 +140,6 @@ fn main() {
          evalDP invocation per offer per property — the trader-side cost of\n\
          live nonfunctional data)"
     );
+
+    adapta_bench::finish("exp_trading_scale");
 }

@@ -24,3 +24,33 @@ pub mod table;
 
 pub use loadsim::{run_load_sharing, LoadPhase, LoadSharingOutcome, LoadSharingParams};
 pub use table::Table;
+
+/// Writes `BENCH_<experiment>.json`: the experiment name plus the full
+/// telemetry-registry snapshot (counters, gauges, latency histograms
+/// with quantiles), so CI and scripts can scrape machine-readable
+/// results without parsing the human-oriented tables.
+///
+/// # Errors
+///
+/// Propagates the I/O error when the file cannot be written.
+pub fn emit_bench_json(experiment: &str) -> std::io::Result<std::path::PathBuf> {
+    let json = adapta_telemetry::json::Obj::new()
+        .str("experiment", experiment)
+        .raw(
+            "metrics",
+            &adapta_telemetry::registry().snapshot().to_json(),
+        )
+        .finish();
+    let path = std::path::PathBuf::from(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// [`emit_bench_json`] with reporting: prints where the snapshot went
+/// (or the error) instead of failing the experiment run.
+pub fn finish(experiment: &str) {
+    match emit_bench_json(experiment) {
+        Ok(path) => println!("\nmetrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_{experiment}.json: {e}"),
+    }
+}

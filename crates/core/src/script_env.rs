@@ -265,6 +265,29 @@ pub fn register_monitor_interfaces(repo: &InterfaceRepository) {
     repo.register_all(defs).expect("fresh repository");
 }
 
+/// The interface of every orb's `_telemetry` object, so Rua scripts can
+/// dump a node's metrics snapshot or retained traces through a plain
+/// proxy table.
+pub const TELEMETRY_IDL: &str = r#"
+    interface Telemetry {
+        string snapshot();
+        string snapshotText();
+        string traces();
+        string tracesText();
+        long counter(in string name);
+        long gauge(in string name);
+    };
+"#;
+
+/// Registers [`TELEMETRY_IDL`] into a repository (idempotent).
+pub fn register_telemetry_interface(repo: &InterfaceRepository) {
+    if repo.contains("Telemetry") {
+        return;
+    }
+    let defs = adapta_idl::parse_idl(TELEMETRY_IDL).expect("telemetry IDL parses");
+    repo.register_all(defs).expect("fresh repository");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +396,30 @@ mod tests {
             .is_ok());
         // Idempotent.
         register_monitor_interfaces(&repo);
+    }
+
+    #[test]
+    fn rua_scripts_dump_the_telemetry_snapshot() {
+        let server = Orb::new("senv-tele");
+        adapta_telemetry::registry()
+            .counter("test.senv.rua_dump")
+            .add(3);
+        let repo = InterfaceRepository::new();
+        register_telemetry_interface(&repo);
+        register_telemetry_interface(&repo); // idempotent
+        let mut interp = Interpreter::new();
+        install(&mut interp, server.clone(), repo);
+        let uri = ObjRefData::new(server.endpoint(), "_telemetry", "Telemetry").to_uri();
+        interp.set_global("uri", adapta_script::Value::str(uri));
+        let out = interp
+            .eval(
+                "local t = resolve(uri)\n\
+                 return t:snapshot(), t:counter('test.senv.rua_dump')",
+            )
+            .unwrap();
+        let json = out[0].as_str().unwrap().to_owned();
+        assert!(json.contains("\"test.senv.rua_dump\":3"), "{json}");
+        assert_eq!(out[1], adapta_script::Value::Num(3.0));
     }
 }
 

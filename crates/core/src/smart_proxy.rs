@@ -18,6 +18,7 @@ use std::sync::{Arc, OnceLock};
 use adapta_bridge::{FuncHandle, ScriptActor};
 use adapta_idl::{InterfaceRepository, Value};
 use adapta_orb::{ObjRef, Orb, OrbError, ServantFn};
+use adapta_telemetry::registry;
 use adapta_trading::{OfferMatch, Query, TradingService};
 use parking_lot::Mutex;
 
@@ -108,6 +109,21 @@ struct SpInner {
     events_received: AtomicU64,
     events_handled: AtomicU64,
     failovers: AtomicU64,
+}
+
+impl SpInner {
+    /// Registry metric name under this proxy's `smartproxy.<type>.`
+    /// namespace.
+    fn metric(&self, stat: &str) -> String {
+        format!("smartproxy.{}.{stat}", self.service_type)
+    }
+
+    /// Publishes the current event-queue depth as a gauge.
+    fn publish_queue_depth(&self, depth: usize) {
+        registry()
+            .gauge(&self.metric("queue_depth"))
+            .set(depth as i64);
+    }
 }
 
 /// The client-side auto-adaptation mechanism. See the module docs
@@ -248,11 +264,17 @@ impl SmartProxyBuilder {
                 .to_owned();
             if let Some(inner) = weak.upgrade() {
                 inner.events_received.fetch_add(1, Ordering::Relaxed);
+                registry().counter(&inner.metric("events_received")).incr();
                 let proxy = SmartProxy { inner };
                 if proxy.inner.immediate_handling {
                     proxy.handle_event(&event);
                 } else {
-                    proxy.inner.events.lock().push_back(event);
+                    let depth = {
+                        let mut events = proxy.inner.events.lock();
+                        events.push_back(event);
+                        events.len()
+                    };
+                    proxy.inner.publish_queue_depth(depth);
                 }
             }
             Ok(Value::Null)
@@ -576,6 +598,7 @@ impl SmartProxy {
                 .unwrap_or(true);
             if changed {
                 self.inner.rebinds.fetch_add(1, Ordering::Relaxed);
+                registry().counter(&self.inner.metric("rebinds")).incr();
             }
             slot.replace(new_binding)
         };
@@ -594,12 +617,19 @@ impl SmartProxy {
     /// runs its strategy once, not once per notification.
     pub fn handle_pending_events(&self) {
         let drained: Vec<String> = self.inner.events.lock().drain(..).collect();
-        let mut seen = std::collections::HashSet::new();
-        for event in drained {
-            if seen.insert(event.clone()) {
-                self.handle_event(&event);
-            }
+        self.inner.publish_queue_depth(0);
+        if drained.is_empty() {
+            return;
         }
+        let drain_hist = registry().histogram(&self.inner.metric("drain_latency"));
+        drain_hist.time(|| {
+            let mut seen = std::collections::HashSet::new();
+            for event in drained {
+                if seen.insert(event.clone()) {
+                    self.handle_event(&event);
+                }
+            }
+        });
     }
 
     /// Applies the strategy for `event` immediately (on-demand
@@ -623,25 +653,44 @@ impl SmartProxy {
                 Some(Strategy::Script(h)) => Plan::Script(*h),
             }
         };
-        match plan {
-            Plan::Reselect => {
-                let _ = self.reselect();
+        let kind = match &plan {
+            Plan::Reselect => "reselect",
+            Plan::Native(_) => "native",
+            Plan::Script(_) => "script",
+        };
+        registry()
+            .counter(&self.inner.metric(&format!("strategy.{kind}.runs")))
+            .incr();
+        let failed = match plan {
+            Plan::Reselect => self.reselect().is_err(),
+            Plan::Native(f) => {
+                f(self, event);
+                false
             }
-            Plan::Native(f) => f(self, event),
             Plan::Script(handle) => {
                 let actor = self.actor();
                 let Ok(facade) = self.facade_handle(&actor) else {
+                    registry()
+                        .counter(&self.inner.metric("strategy.script.failures"))
+                        .incr();
                     return;
                 };
                 let proxy = self.clone();
                 let event = event.to_owned();
-                let _ = actor.call_with(handle, move |interp| {
-                    let table = ScriptActor::stored_get(interp, facade)
-                        .unwrap_or(adapta_script::Value::Nil);
-                    refresh_facade(interp, &proxy, &table);
-                    vec![table, adapta_script::Value::str(event)]
-                });
+                actor
+                    .call_with(handle, move |interp| {
+                        let table = ScriptActor::stored_get(interp, facade)
+                            .unwrap_or(adapta_script::Value::Nil);
+                        refresh_facade(interp, &proxy, &table);
+                        vec![table, adapta_script::Value::str(event)]
+                    })
+                    .is_err()
             }
+        };
+        if failed {
+            registry()
+                .counter(&self.inner.metric(&format!("strategy.{kind}.failures")))
+                .incr();
         }
     }
 
@@ -665,6 +714,7 @@ impl SmartProxy {
             Ok(v) => Ok(v),
             Err(e) if is_connectivity_error(&e) => {
                 self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+                registry().counter(&self.inner.metric("failovers")).incr();
                 self.unbind();
                 if !self.select_excluding(&self.inner.constraint.clone(), true, Some(&target))? {
                     return Err(CoreError::Unbound(format!(

@@ -404,9 +404,23 @@ impl Monitor {
     /// [`errors`](Self::errors)) and never abort the tick.
     pub fn tick(&self, now: SimTime) {
         self.inner.ticks.fetch_add(1, Ordering::Relaxed);
-        self.refresh_value(now);
-        self.refresh_aspects();
-        self.run_observers();
+        let registry = adapta_telemetry::registry();
+        registry
+            .counter(&format!("monitor.{}.ticks", self.property()))
+            .incr();
+        let cycle = registry.histogram(&format!("monitor.{}.tick_cycle", self.property()));
+        let errors_before = self.errors();
+        cycle.time(|| {
+            self.refresh_value(now);
+            self.refresh_aspects();
+            self.run_observers();
+        });
+        let new_errors = self.errors().saturating_sub(errors_before);
+        if new_errors > 0 {
+            registry
+                .counter(&format!("monitor.{}.errors", self.property()))
+                .add(new_errors);
+        }
     }
 
     fn refresh_value(&self, now: SimTime) {

@@ -18,7 +18,10 @@
 //! that knows nothing about adaptation — which is exactly the paper's
 //! point: adaptation plugs into standard applications.
 
+use std::time::Instant;
+
 use adapta_idl::Value;
+use adapta_telemetry::{registry, Span};
 
 use crate::error::OrbError;
 use crate::reference::ObjRef;
@@ -103,6 +106,89 @@ where
 {
     fn receive_request(&self, info: &ServerRequestInfo<'_>) -> ServerAction {
         (self.0)(info)
+    }
+}
+
+/// An observe-only client interceptor recording request round-trip
+/// times into the telemetry registry and span collector.
+///
+/// At `send_request` it notes the time; at `receive_reply` it records
+/// the elapsed duration into the histogram
+/// `interceptor.<name>.latency`, counts
+/// `interceptor.<name>.replies` / `interceptor.<name>.errors`, and
+/// emits an `observe:<name>` span carrying the measured time — nested
+/// under the invocation's client span, which is still active when
+/// reply interceptors run.
+///
+/// Start times are kept per thread as a stack, so nested invocations
+/// (a servant calling out mid-dispatch on the same thread) pair up
+/// LIFO. Redirect rounds re-enter `send_request`, so the popped entry
+/// times the request as actually sent after the final redirect.
+pub struct TimingObserver {
+    name: String,
+    starts: std::sync::Mutex<std::collections::HashMap<std::thread::ThreadId, Vec<Instant>>>,
+}
+
+impl TimingObserver {
+    /// Creates an observer publishing under `interceptor.<name>.*`.
+    pub fn new(name: &str) -> TimingObserver {
+        TimingObserver {
+            name: name.to_string(),
+            starts: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn stack(
+        &self,
+    ) -> std::sync::MutexGuard<'_, std::collections::HashMap<std::thread::ThreadId, Vec<Instant>>>
+    {
+        self.starts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl ClientInterceptor for TimingObserver {
+    fn send_request(&self, info: &ClientRequestInfo<'_>) -> ClientAction {
+        if !info.oneway {
+            self.stack()
+                .entry(std::thread::current().id())
+                .or_default()
+                .push(Instant::now());
+        }
+        ClientAction::Proceed
+    }
+
+    fn receive_reply(&self, info: &ClientRequestInfo<'_>, outcome: &Result<Value, OrbError>) {
+        let started = {
+            let mut stacks = self.stack();
+            let Some(stack) = stacks.get_mut(&std::thread::current().id()) else {
+                return;
+            };
+            // LIFO pairing: nested invocations pop their own entry
+            // first. After redirects the popped entry is the one from
+            // the final chain round, timing the request actually sent.
+            match stack.pop() {
+                Some(t) => t,
+                None => return,
+            }
+        };
+        let elapsed = started.elapsed();
+        registry()
+            .histogram(&format!("interceptor.{}.latency", self.name))
+            .record(elapsed);
+        registry()
+            .counter(&format!("interceptor.{}.replies", self.name))
+            .incr();
+        if outcome.is_err() {
+            registry()
+                .counter(&format!("interceptor.{}.errors", self.name))
+                .incr();
+        }
+        let mut span = Span::start(&format!("observe:{}", self.name));
+        span.attr("operation", info.operation);
+        span.attr("elapsed_us", &elapsed.as_micros().to_string());
+        span.attr("ok", if outcome.is_ok() { "true" } else { "false" });
     }
 }
 

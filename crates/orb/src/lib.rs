@@ -17,7 +17,10 @@
 //! * transports — in-process (between named [`Orb`] nodes in one
 //!   process, with full marshalling so measurements stay honest) and TCP
 //!   (length-prefixed frames, GIOP-like request/reply);
-//! * a tiny naming service so bootstrap references can be found by name.
+//! * a tiny naming service so bootstrap references can be found by name;
+//! * observability — requests carry a [`ServiceContext`] propagating
+//!   trace ids across hops, and every node hosts a `_telemetry` object
+//!   serving the process-wide metrics snapshot and span buffer as JSON.
 //!
 //! ```
 //! use adapta_orb::{Orb, Servant, OrbResult, OrbError};
@@ -55,19 +58,21 @@ mod naming;
 mod orb;
 mod proxy;
 mod reference;
+mod telemetry_servant;
 pub mod transport;
 
 pub use adapter::{ObjectAdapter, Servant, ServantFn};
 pub use error::OrbError;
 pub use interceptor::{
     ClientAction, ClientInterceptor, ClientInterceptorFn, ClientRequestInfo, ServerAction,
-    ServerInterceptor, ServerInterceptorFn, ServerRequestInfo,
+    ServerInterceptor, ServerInterceptorFn, ServerRequestInfo, TimingObserver,
 };
 pub use marshal::{decode_value, encode_value};
-pub use message::{Message, ReplyBody, RequestBody};
+pub use message::{Message, ReplyBody, RequestBody, ServiceContext};
 pub use orb::{Orb, OrbStats};
 pub use proxy::{Proxy, Request};
 pub use reference::ObjRef;
+pub use telemetry_servant::TelemetryServant;
 
 /// Result alias for broker operations.
 pub type OrbResult<T> = std::result::Result<T, OrbError>;

@@ -8,11 +8,61 @@ use crate::marshal::{get_str, get_value, put_value};
 use crate::OrbResult;
 
 const MAGIC: &[u8; 4] = b"ADPT";
-const VERSION: u8 = 1;
+/// Current protocol version. Version 2 added the request service
+/// context; version-1 frames (no context) are still decoded.
+const VERSION: u8 = 2;
+const MIN_VERSION: u8 = 1;
 
 const KIND_REQUEST: u8 = 0;
 const KIND_REPLY: u8 = 1;
 const KIND_ONEWAY: u8 = 2;
+
+/// Out-of-band key/value pairs carried with a request — the CORBA
+/// *service context* analogue. The broker uses it to propagate trace
+/// context (`trace-id`/`span-id`) across process and network hops;
+/// applications and interceptors may add their own entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceContext {
+    entries: Vec<(String, String)>,
+}
+
+impl ServiceContext {
+    /// Creates an empty context.
+    pub fn new() -> ServiceContext {
+        ServiceContext::default()
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Stores `value` under `key`, replacing any previous value.
+    pub fn set(&mut self, key: &str, value: &str) {
+        match self.entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => value.clone_into(v),
+            None => self.entries.push((key.to_string(), value.to_string())),
+        }
+    }
+
+    /// True when the context carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
 
 /// The body of a request (two-way or oneway).
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +75,8 @@ pub struct RequestBody {
     pub operation: String,
     /// Argument list.
     pub args: Vec<Value>,
+    /// Out-of-band service context (trace propagation and the like).
+    pub context: ServiceContext,
 }
 
 /// The body of a reply.
@@ -64,6 +116,11 @@ impl Message {
                 put_str_local(&mut buf, &body.key);
                 put_str_local(&mut buf, &body.operation);
                 put_value(&mut buf, &Value::Seq(body.args.clone()));
+                buf.put_u32_le(body.context.len() as u32);
+                for (k, v) in body.context.iter() {
+                    put_str_local(&mut buf, k);
+                    put_str_local(&mut buf, v);
+                }
             }
             Message::Reply(body) => {
                 buf.put_u8(KIND_REPLY);
@@ -99,7 +156,7 @@ impl Message {
             return Err(OrbError::Marshal("bad magic".into()));
         }
         let version = cursor.get_u8();
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(OrbError::Marshal(format!(
                 "unsupported protocol version {version}"
             )));
@@ -117,11 +174,24 @@ impl Message {
                     Value::Seq(items) => items,
                     _ => return Err(OrbError::Marshal("request args must be a sequence".into())),
                 };
+                let mut context = ServiceContext::new();
+                if version >= 2 {
+                    if cursor.len() < 4 {
+                        return Err(OrbError::Marshal("truncated service context".into()));
+                    }
+                    let entries = cursor.get_u32_le();
+                    for _ in 0..entries {
+                        let k = get_str(&mut cursor)?;
+                        let v = get_str(&mut cursor)?;
+                        context.set(&k, &v);
+                    }
+                }
                 let body = RequestBody {
                     id,
                     key,
                     operation,
                     args,
+                    context,
                 };
                 if kind == KIND_REQUEST {
                     Message::Request(body)
@@ -174,6 +244,7 @@ mod tests {
             key: "mon-1".into(),
             operation: "getValue".into(),
             args: vec![Value::Long(1), Value::Str("x".into())],
+            context: ServiceContext::new(),
         }));
     }
 
@@ -184,7 +255,49 @@ mod tests {
             key: "obs".into(),
             operation: "notifyEvent".into(),
             args: vec![Value::Str("LoadIncrease".into())],
+            context: ServiceContext::new(),
         }));
+    }
+
+    #[test]
+    fn service_context_round_trips() {
+        let mut context = ServiceContext::new();
+        context.set("trace-id", "00000000deadbeef");
+        context.set("span-id", "00000000cafef00d");
+        context.set("tenant", "acme");
+        round_trip(Message::Request(RequestBody {
+            id: 9,
+            key: "k".into(),
+            operation: "op".into(),
+            args: vec![],
+            context,
+        }));
+    }
+
+    #[test]
+    fn service_context_set_replaces() {
+        let mut context = ServiceContext::new();
+        context.set("a", "1");
+        context.set("a", "2");
+        assert_eq!(context.len(), 1);
+        assert_eq!(context.get("a"), Some("2"));
+        assert_eq!(context.get("b"), None);
+    }
+
+    #[test]
+    fn version_1_frames_still_decode() {
+        // A version-1 request has no service-context section.
+        let msg = Message::Request(RequestBody {
+            id: 3,
+            key: "k".into(),
+            operation: "op".into(),
+            args: vec![Value::Long(1)],
+            context: ServiceContext::new(),
+        });
+        let mut bytes = msg.encode().to_vec();
+        bytes[4] = 1;
+        bytes.truncate(bytes.len() - 4); // drop the empty context count
+        assert_eq!(Message::decode(&bytes).unwrap(), msg);
     }
 
     #[test]
@@ -225,11 +338,14 @@ mod tests {
 
     #[test]
     fn rejects_truncation_everywhere() {
+        let mut context = ServiceContext::new();
+        context.set("trace-id", "74");
         let bytes = Message::Request(RequestBody {
             id: 1,
             key: "k".into(),
             operation: "op".into(),
             args: vec![Value::Long(2)],
+            context,
         })
         .encode();
         for cut in 0..bytes.len() {

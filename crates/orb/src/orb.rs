@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, OnceLock, Weak};
 
 use adapta_idl::Value;
+use adapta_telemetry::{registry, Counter, Span, SpanId, TraceId, SPAN_ID_KEY, TRACE_ID_KEY};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 
@@ -14,10 +15,11 @@ use crate::interceptor::{
     ClientAction, ClientInterceptor, ClientRequestInfo, ServerAction, ServerInterceptor,
     ServerRequestInfo,
 };
-use crate::message::{Message, ReplyBody, RequestBody};
+use crate::message::{Message, ReplyBody, RequestBody, ServiceContext};
 use crate::naming::NamingServant;
 use crate::proxy::Proxy;
 use crate::reference::ObjRef;
+use crate::telemetry_servant::TelemetryServant;
 use crate::transport;
 use crate::OrbResult;
 
@@ -36,14 +38,58 @@ fn lookup_node(node: &str) -> Option<Arc<OrbCore>> {
         .and_then(Weak::upgrade)
 }
 
-#[derive(Debug, Default)]
+/// One statistics counter, backed by the telemetry registry under
+/// `orb.<node>.<stat>` so snapshots see every node's traffic. The
+/// baseline makes [`Orb::stats`] start from zero per orb instance even
+/// when a node name (and thus a registry counter) is reused after a
+/// previous orb dropped.
+#[derive(Debug)]
+struct StatCell {
+    counter: Counter,
+    baseline: u64,
+}
+
+impl StatCell {
+    fn new(node: &str, stat: &str) -> StatCell {
+        let counter = registry().counter(&format!("orb.{node}.{stat}"));
+        let baseline = counter.value();
+        StatCell { counter, baseline }
+    }
+
+    fn incr(&self) {
+        self.counter.incr();
+    }
+
+    fn add(&self, n: u64) {
+        self.counter.add(n);
+    }
+
+    fn value(&self) -> u64 {
+        self.counter.value() - self.baseline
+    }
+}
+
+#[derive(Debug)]
 struct StatCells {
-    requests_sent: AtomicU64,
-    oneways_sent: AtomicU64,
-    replies_received: AtomicU64,
-    requests_served: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
+    requests_sent: StatCell,
+    oneways_sent: StatCell,
+    replies_received: StatCell,
+    requests_served: StatCell,
+    bytes_sent: StatCell,
+    bytes_received: StatCell,
+}
+
+impl StatCells {
+    fn for_node(node: &str) -> StatCells {
+        StatCells {
+            requests_sent: StatCell::new(node, "requests_sent"),
+            oneways_sent: StatCell::new(node, "oneways_sent"),
+            replies_received: StatCell::new(node, "replies_received"),
+            requests_served: StatCell::new(node, "requests_served"),
+            bytes_sent: StatCell::new(node, "bytes_sent"),
+            bytes_received: StatCell::new(node, "bytes_received"),
+        }
+    }
 }
 
 /// A snapshot of a broker's message counters.
@@ -97,23 +143,46 @@ impl std::fmt::Debug for OrbCore {
 
 impl OrbCore {
     pub(crate) fn count_bytes_in(&self, n: usize) {
-        self.stats
-            .bytes_received
-            .fetch_add(n as u64, Ordering::Relaxed);
+        self.stats.bytes_received.add(n as u64);
     }
 
     pub(crate) fn count_bytes_out(&self, n: usize) {
-        self.stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+        self.stats.bytes_sent.add(n as u64);
     }
 
     pub(crate) fn count_served(&self) {
-        self.stats.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.stats.requests_served.incr();
     }
 
     /// Server-side dispatch of a decoded request (through the server
     /// interceptor chain).
+    ///
+    /// Dispatch runs under a `server:<op>` span. When the request's
+    /// service context carries trace ids, the span joins that trace —
+    /// so a client invocation and its remote dispatch share one
+    /// `TraceId` even across TCP. Per-operation latency and error
+    /// counts land in the registry under `orb.server.op.<op>.*`.
     pub(crate) fn serve(&self, body: RequestBody) -> ReplyBody {
         self.count_served();
+        let remote_trace = body.context.get(TRACE_ID_KEY).and_then(TraceId::from_hex);
+        let parent = body.context.get(SPAN_ID_KEY).and_then(SpanId::from_hex);
+        let mut span = match remote_trace {
+            Some(trace) => Span::child_of(&format!("server:{}", body.operation), trace, parent),
+            None => Span::start(&format!("server:{}", body.operation)),
+        };
+        span.attr("node", &self.node);
+        span.attr("key", &body.key);
+        let latency = registry().histogram(&format!("orb.server.op.{}.latency", body.operation));
+        let started = std::time::Instant::now();
+        let reply = self.serve_inner(body);
+        latency.record(started.elapsed());
+        if let Err(message) = &reply.outcome {
+            span.attr("error", message);
+        }
+        reply
+    }
+
+    fn serve_inner(&self, body: RequestBody) -> ReplyBody {
         let interceptors = self.server_interceptors.read().clone();
         for interceptor in &interceptors {
             let info = ServerRequestInfo {
@@ -122,6 +191,9 @@ impl OrbCore {
                 args: &body.args,
             };
             if let ServerAction::Abort(message) = interceptor.receive_request(&info) {
+                registry()
+                    .counter(&format!("orb.server.op.{}.errors", body.operation))
+                    .incr();
                 return ReplyBody {
                     id: body.id,
                     outcome: Err(format!("remote exception: {message}")),
@@ -155,6 +227,11 @@ impl OrbCore {
                 .dispatch(&body.key, &body.operation, body.args)
                 .map_err(|e| e.to_string()),
         };
+        if outcome.is_err() {
+            registry()
+                .counter(&format!("orb.server.op.{}.errors", body.operation))
+                .incr();
+        }
         ReplyBody {
             id: body.id,
             outcome,
@@ -216,7 +293,7 @@ impl Orb {
         let core = Arc::new(OrbCore {
             node: name.clone(),
             adapter: ObjectAdapter::new(),
-            stats: StatCells::default(),
+            stats: StatCells::for_node(&name),
             tcp_addr: RwLock::new(None),
             sync_oneway: AtomicBool::new(false),
             oneway_tx: Mutex::new(None),
@@ -233,6 +310,12 @@ impl Orb {
             .adapter
             .activate("_naming", Arc::new(NamingServant::new()))
             .expect("naming servant on fresh adapter");
+        // ... and a telemetry object exporting the process's metrics
+        // snapshot and trace buffer through the broker itself.
+        orb.core
+            .adapter
+            .activate("_telemetry", Arc::new(TelemetryServant::new()))
+            .expect("telemetry servant on fresh adapter");
         orb
     }
 
@@ -250,16 +333,18 @@ impl Orb {
         }
     }
 
-    /// Message counters so far.
+    /// Message counters so far (this orb instance; the telemetry
+    /// registry additionally keeps per-node-name lifetime totals under
+    /// `orb.<node>.*`).
     pub fn stats(&self) -> OrbStats {
         let s = &self.core.stats;
         OrbStats {
-            requests_sent: s.requests_sent.load(Ordering::Relaxed),
-            oneways_sent: s.oneways_sent.load(Ordering::Relaxed),
-            replies_received: s.replies_received.load(Ordering::Relaxed),
-            requests_served: s.requests_served.load(Ordering::Relaxed),
-            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+            requests_sent: s.requests_sent.value(),
+            oneways_sent: s.oneways_sent.value(),
+            replies_received: s.replies_received.value(),
+            requests_served: s.requests_served.value(),
+            bytes_sent: s.bytes_sent.value(),
+            bytes_received: s.bytes_received.value(),
         }
     }
 
@@ -489,25 +574,43 @@ impl Orb {
     /// Transport errors, [`OrbError::ObjectNotFound`], or the remote
     /// exception raised by the servant.
     pub fn invoke_ref(&self, target: &ObjRef, op: &str, args: Vec<Value>) -> OrbResult<Value> {
+        // The client span opens before the interceptor chain runs, so
+        // spans emitted by observe hooks (and by nested invocations the
+        // hooks trigger) nest under it.
+        let mut span = Span::start(&format!("client:{op}"));
+        span.attr("node", &self.core.node);
+        span.attr("key", &target.key);
+        let outcome = self.invoke_traced(target, op, args, &span);
+        if outcome.is_err() {
+            span.attr("error", "true");
+        }
+        outcome
+    }
+
+    fn invoke_traced(
+        &self,
+        target: &ObjRef,
+        op: &str,
+        args: Vec<Value>,
+        span: &Span,
+    ) -> OrbResult<Value> {
         let target = self.intercept_client(target, op, &args, false)?;
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut context = ServiceContext::new();
+        context.set(TRACE_ID_KEY, &span.trace_id().to_string());
+        context.set(SPAN_ID_KEY, &span.span_id().to_string());
         let body = RequestBody {
             id,
             key: target.key.clone(),
             operation: op.to_owned(),
             args: args.clone(),
+            context,
         };
-        self.core
-            .stats
-            .requests_sent
-            .fetch_add(1, Ordering::Relaxed);
+        self.core.stats.requests_sent.incr();
         let outcome = (|| {
             let reply = self.route(&target, Message::Request(body))?;
             let reply = reply.expect("two-way invocations produce a reply");
-            self.core
-                .stats
-                .replies_received
-                .fetch_add(1, Ordering::Relaxed);
+            self.core.stats.replies_received.incr();
             reply.outcome.map_err(Self::revive_error)
         })();
         self.intercept_reply(&target, op, &args, &outcome);
@@ -520,14 +623,21 @@ impl Orb {
     ///
     /// Transport errors only; servant outcomes are not observable.
     pub fn invoke_oneway_ref(&self, target: &ObjRef, op: &str, args: Vec<Value>) -> OrbResult<()> {
+        let mut span = Span::start(&format!("oneway:{op}"));
+        span.attr("node", &self.core.node);
+        span.attr("key", &target.key);
         let target = self.intercept_client(target, op, &args, true)?;
+        let mut context = ServiceContext::new();
+        context.set(TRACE_ID_KEY, &span.trace_id().to_string());
+        context.set(SPAN_ID_KEY, &span.span_id().to_string());
         let body = RequestBody {
             id: 0,
             key: target.key.clone(),
             operation: op.to_owned(),
             args,
+            context,
         };
-        self.core.stats.oneways_sent.fetch_add(1, Ordering::Relaxed);
+        self.core.stats.oneways_sent.incr();
         self.route(&target, Message::Oneway(body))?;
         Ok(())
     }

@@ -1,0 +1,97 @@
+//! The `_telemetry` object: the middleware exports its own
+//! observability data through itself.
+//!
+//! Every [`Orb`](crate::Orb) activates one of these under the
+//! well-known key `_telemetry`, so any peer (including Rua scripts,
+//! via DII) can query a node's process for its metrics snapshot and
+//! retained trace spans without side channels.
+
+use adapta_idl::Value;
+use adapta_telemetry::{collector, registry};
+
+use crate::adapter::Servant;
+use crate::error::OrbError;
+use crate::OrbResult;
+
+/// DSI servant answering telemetry queries:
+///
+/// | operation       | args    | result                                   |
+/// |-----------------|---------|------------------------------------------|
+/// | `snapshot`      | —       | metrics snapshot as a JSON object string |
+/// | `snapshotText`  | —       | metrics snapshot as aligned text lines   |
+/// | `traces`        | —       | retained spans as a JSON array string    |
+/// | `tracesText`    | —       | retained spans as an indented trace tree |
+/// | `counter`       | name    | one counter's value as a `Long`          |
+/// | `gauge`         | name    | one gauge's value as a `Long`            |
+#[derive(Debug, Default)]
+pub struct TelemetryServant;
+
+impl TelemetryServant {
+    /// Creates the servant.
+    pub fn new() -> TelemetryServant {
+        TelemetryServant
+    }
+}
+
+impl Servant for TelemetryServant {
+    fn interface(&self) -> &str {
+        "Telemetry"
+    }
+
+    fn invoke(&self, op: &str, args: Vec<Value>) -> OrbResult<Value> {
+        let name_arg = || {
+            args.first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| OrbError::exception("expected an instrument name argument"))
+        };
+        match op {
+            "snapshot" => Ok(Value::from(registry().snapshot().to_json())),
+            "snapshotText" => Ok(Value::from(registry().snapshot().to_text())),
+            "traces" => Ok(Value::from(collector().export_json())),
+            "tracesText" => Ok(Value::from(collector().export_text())),
+            "counter" => {
+                let name = name_arg()?;
+                let snap = registry().snapshot();
+                let value = snap
+                    .counter(name)
+                    .ok_or_else(|| OrbError::exception(format!("no counter named `{name}`")))?;
+                Ok(Value::Long(value as i64))
+            }
+            "gauge" => {
+                let name = name_arg()?;
+                let snap = registry().snapshot();
+                let value = snap
+                    .gauge(name)
+                    .ok_or_else(|| OrbError::exception(format!("no gauge named `{name}`")))?;
+                Ok(Value::Long(value))
+            }
+            other => Err(OrbError::unknown_operation("Telemetry", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_counter_queries_answer() {
+        adapta_telemetry::registry()
+            .counter("test.telemetry_servant.hits")
+            .add(5);
+        let servant = TelemetryServant::new();
+        let json = servant.invoke("snapshot", vec![]).unwrap();
+        assert!(json
+            .as_str()
+            .unwrap()
+            .contains("\"test.telemetry_servant.hits\":5"));
+        let value = servant
+            .invoke("counter", vec![Value::from("test.telemetry_servant.hits")])
+            .unwrap();
+        assert_eq!(value, Value::Long(5));
+        assert!(servant
+            .invoke("counter", vec![Value::from("test.telemetry_servant.nope")])
+            .is_err());
+        assert!(servant.invoke("bogus", vec![]).is_err());
+    }
+}

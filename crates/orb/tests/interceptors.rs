@@ -181,3 +181,65 @@ fn interceptor_chain_runs_in_order() {
 fn parking_lot_mutex() -> std::sync::Mutex<Vec<&'static str>> {
     std::sync::Mutex::new(Vec::new())
 }
+
+#[test]
+fn redirect_restarts_chain_so_later_abort_sees_new_target() {
+    // CORBA forward semantics: a redirect restarts the chain on the new
+    // target, so an abort rule matching the *redirected* destination
+    // still fires — adaptation cannot be used to smuggle a request past
+    // a policy interceptor registered after it.
+    let server = Orb::new("icpt-ra-server");
+    let a = server.activate("a", named_servant("A")).unwrap();
+    let b = server.activate("b", named_servant("B")).unwrap();
+    let client = Orb::new("icpt-ra-client");
+    let b_for_move = b.clone();
+    client.add_client_interceptor(ClientInterceptorFn(move |info: &ClientRequestInfo<'_>| {
+        if info.target.key == "a" {
+            ClientAction::Redirect(b_for_move.clone())
+        } else {
+            ClientAction::Proceed
+        }
+    }));
+    client.add_client_interceptor(ClientInterceptorFn(|info: &ClientRequestInfo<'_>| {
+        if info.target.key == "b" {
+            ClientAction::Abort("b is quarantined".into())
+        } else {
+            ClientAction::Proceed
+        }
+    }));
+    // a → redirected to b → chain restarts → abort fires on b.
+    let err = client.proxy(&a).invoke("whoami", vec![]).unwrap_err();
+    assert!(err.to_string().contains("quarantined"), "{err}");
+}
+
+#[test]
+fn observe_hook_spans_nest_under_the_client_span() {
+    use adapta_orb::TimingObserver;
+    use adapta_telemetry::collector;
+
+    let server = Orb::new("icpt-span-server");
+    let target = server.activate("a", named_servant("A")).unwrap();
+    let client = Orb::new("icpt-span-client");
+    client.add_client_interceptor(TimingObserver::new("icpt-span"));
+    client.proxy(&target).invoke("whoami", vec![]).unwrap();
+
+    let finished = collector().finished();
+    let observe = finished
+        .iter()
+        .find(|s| s.name == "observe:icpt-span")
+        .expect("observe span recorded");
+    assert!(observe
+        .attrs
+        .iter()
+        .any(|(k, v)| k == "operation" && v == "whoami"));
+    assert!(observe.attrs.iter().any(|(k, v)| k == "ok" && v == "true"));
+    // The reply hook ran while the invocation's client span was still
+    // open, so its span is a child of `client:whoami`, same trace.
+    let parent = observe.parent.expect("observe span has a parent");
+    let client_span = finished
+        .iter()
+        .find(|s| s.span == parent)
+        .expect("parent span retained");
+    assert_eq!(client_span.name, "client:whoami");
+    assert_eq!(client_span.trace, observe.trace);
+}

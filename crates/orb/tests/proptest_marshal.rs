@@ -2,7 +2,7 @@
 //! decoder is total (never panics) on arbitrary bytes.
 
 use adapta_idl::{ObjRefData, Value};
-use adapta_orb::{decode_value, encode_value, Message, ReplyBody, RequestBody};
+use adapta_orb::{decode_value, encode_value, Message, ReplyBody, RequestBody, ServiceContext};
 use bytes::Bytes;
 use proptest::prelude::*;
 
@@ -77,8 +77,13 @@ proptest! {
         op in "[a-zA-Z_]{1,16}",
         args in proptest::collection::vec(value_strategy(), 0..4),
         oneway in any::<bool>(),
+        ctx in proptest::collection::vec(("[a-z-]{1,12}", ".{0,24}"), 0..4),
     ) {
-        let body = RequestBody { id, key, operation: op, args };
+        let mut context = ServiceContext::new();
+        for (k, v) in &ctx {
+            context.set(k, v);
+        }
+        let body = RequestBody { id, key, operation: op, args, context };
         let msg = if oneway { Message::Oneway(body) } else { Message::Request(body) };
         let decoded = Message::decode(&msg.encode()).expect("decodes");
         match (&msg, &decoded) {
@@ -87,6 +92,7 @@ proptest! {
                 prop_assert_eq!(a.id, b.id);
                 prop_assert_eq!(&a.key, &b.key);
                 prop_assert_eq!(&a.operation, &b.operation);
+                prop_assert_eq!(&a.context, &b.context);
                 prop_assert_eq!(a.args.len(), b.args.len());
                 for (x, y) in a.args.iter().zip(&b.args) {
                     prop_assert!(value_eq(x, y));

@@ -1,0 +1,181 @@
+//! A minimal JSON writer.
+//!
+//! The telemetry snapshot and the experiment binaries need to *emit*
+//! JSON, never parse it, so a pair of append-only builders is enough —
+//! no serde, no intermediate value tree.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding
+/// quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value (`null` for NaN and infinities,
+/// which JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // Rust prints integral floats without a dot; keep them as-is —
+        // JSON numbers don't require one.
+        if s == "-0" {
+            s = "0".into();
+        }
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// Builds one JSON object, field by field.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Obj {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, k: &str, v: i64) -> Obj {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a floating-point field (`null` when not finite).
+    pub fn f64(mut self, k: &str, v: f64) -> Obj {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, k: &str, json: &str) -> Obj {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns its JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Builds one JSON array, element by element.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+    any: bool,
+}
+
+impl Arr {
+    /// Starts an empty array.
+    pub fn new() -> Arr {
+        Arr::default()
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+    }
+
+    /// Appends a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, json: &str) -> Arr {
+        self.sep();
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Appends a string element.
+    pub fn str(mut self, v: &str) -> Arr {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn u64(mut self, v: u64) -> Arr {
+        self.sep();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Appends a floating-point element (`null` when not finite).
+    pub fn f64(mut self, v: f64) -> Arr {
+        self.sep();
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Closes the array and returns its JSON text.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let inner = Arr::new().u64(1).str("two").f64(f64::NAN).finish();
+        let obj = Obj::new()
+            .str("name", "x")
+            .u64("count", 3)
+            .raw("items", &inner)
+            .finish();
+        assert_eq!(obj, r#"{"name":"x","count":3,"items":[1,"two",null]}"#);
+    }
+}

@@ -1,0 +1,49 @@
+//! Observability for the adapta middleware: distributed tracing and a
+//! unified metrics registry, both dependency-free.
+//!
+//! # Tracing
+//!
+//! A [`Span`] measures one timed operation. Spans form trees: starting
+//! a span on a thread that already has an active span makes it a child
+//! sharing the parent's [`TraceId`]; otherwise a fresh trace begins.
+//! The ORB carries `(TraceId, SpanId)` across process and network hops
+//! in each request's *service context*, so a client invocation, the
+//! server-side dispatch and any nested invocations (for example a
+//! trader evaluating a dynamic property) all land in one trace.
+//! Finished spans go to the process-wide [`collector`], a bounded ring
+//! buffer exportable as text or JSON.
+//!
+//! ```
+//! use adapta_telemetry::{collector, Span};
+//!
+//! let root = Span::start("request");
+//! let trace = root.trace_id();
+//! {
+//!     let mut child = Span::start("marshal");
+//!     child.attr("bytes", "128");
+//! } // child records on drop
+//! drop(root);
+//! let spans = collector().for_trace(trace);
+//! assert_eq!(spans.len(), 2);
+//! ```
+//!
+//! # Metrics
+//!
+//! The global [`registry`] names three instrument kinds: monotone
+//! [`Counter`]s, up/down [`Gauge`]s and latency [`HistogramHandle`]s
+//! (exact-sample histograms with nearest-rank quantiles — the same
+//! [`Histogram`] the simulator uses). [`Registry::snapshot`] captures
+//! everything at a point in time; [`Snapshot::to_json`] renders it for
+//! export through the middleware's own `_telemetry` object.
+
+mod hist;
+pub mod json;
+mod metrics;
+mod trace;
+
+pub use hist::Histogram;
+pub use metrics::{registry, Counter, Gauge, HistSummary, HistogramHandle, Registry, Snapshot};
+pub use trace::{
+    collector, current_context, Collector, Span, SpanId, SpanRecord, TraceId, SPAN_ID_KEY,
+    TRACE_ID_KEY,
+};

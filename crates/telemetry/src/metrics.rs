@@ -1,0 +1,338 @@
+//! The unified metrics registry: named counters, gauges and latency
+//! histograms with point-in-time snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::hist::Histogram;
+use crate::json::Obj;
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotone counter handle. Cloning shares the underlying cell, so a
+/// hot path can keep the handle instead of re-resolving the name.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge handle (e.g. a queue depth).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram handle backed by a shared [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        relock(&self.0).record(d);
+    }
+
+    /// Runs `f`, recording its wall-clock duration.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// A copy of the underlying histogram.
+    pub fn histogram(&self) -> Histogram {
+        relock(&self.0).clone()
+    }
+
+    /// The current quantile summary.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary::of(&mut relock(&self.0))
+    }
+}
+
+/// Point-in-time quantile summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (nearest rank).
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Largest sample.
+    pub max: Duration,
+}
+
+impl HistSummary {
+    fn of(h: &mut Histogram) -> HistSummary {
+        HistSummary {
+            count: h.len() as u64,
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+
+    /// Renders the summary as a JSON object (durations in µs).
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("count", self.count)
+            .u64("mean_us", self.mean.as_micros() as u64)
+            .u64("p50_us", self.p50.as_micros() as u64)
+            .u64("p90_us", self.p90.as_micros() as u64)
+            .u64("p95_us", self.p95.as_micros() as u64)
+            .u64("p99_us", self.p99.as_micros() as u64)
+            .u64("max_us", self.max.as_micros() as u64)
+            .finish()
+    }
+}
+
+/// The instrument store. Names are free-form dotted paths
+/// (`orb.<node>.requests_sent`, `smartproxy.events.queue_depth`, ...);
+/// looking a name up creates the instrument on first use.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(
+            relock(&self.counters)
+                .entry(name.to_string())
+                .or_default()
+                .clone(),
+        )
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(
+            relock(&self.gauges)
+                .entry(name.to_string())
+                .or_default()
+                .clone(),
+        )
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        HistogramHandle(
+            relock(&self.histograms)
+                .entry(name.to_string())
+                .or_default()
+                .clone(),
+        )
+    }
+
+    /// Captures every instrument's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = relock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = relock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = relock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), HistSummary::of(&mut relock(v))))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Removes every instrument (test isolation helper; outstanding
+    /// handles keep working but detach from the registry).
+    pub fn clear(&self) {
+        relock(&self.counters).clear();
+        relock(&self.gauges).clear();
+        relock(&self.histograms).clear();
+    }
+}
+
+/// A point-in-time capture of the whole registry, name-sorted.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistSummary)>,
+}
+
+impl Snapshot {
+    /// The captured value of counter `name`, if it existed.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The captured value of gauge `name`, if it existed.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// The captured summary of histogram `name`, if it existed.
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = Obj::new();
+        for (k, v) in &self.counters {
+            counters = counters.u64(k, *v);
+        }
+        let mut gauges = Obj::new();
+        for (k, v) in &self.gauges {
+            gauges = gauges.i64(k, *v);
+        }
+        let mut histograms = Obj::new();
+        for (k, v) in &self.histograms {
+            histograms = histograms.raw(k, &v.to_json());
+        }
+        Obj::new()
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish())
+            .finish()
+    }
+
+    /// Renders the snapshot as aligned `name value` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter   {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge     {k} = {v}\n"));
+        }
+        for (k, s) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {k} = n={} mean={:.2?} p50={:.2?} p95={:.2?} p99={:.2?} max={:.2?}\n",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_named_cell() {
+        let a = registry().counter("test.metrics.shared");
+        let b = registry().counter("test.metrics.shared");
+        a.incr();
+        b.add(2);
+        assert_eq!(a.value(), 3);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = registry().gauge("test.metrics.gauge");
+        g.set(5);
+        g.add(3);
+        g.sub(4);
+        assert_eq!(g.value(), 4);
+    }
+
+    #[test]
+    fn snapshot_captures_and_exports() {
+        let c = registry().counter("test.metrics.snap.count");
+        c.add(7);
+        let h = registry().histogram("test.metrics.snap.lat");
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(30));
+        let snap = registry().snapshot();
+        assert_eq!(snap.counter("test.metrics.snap.count"), Some(7));
+        let summary = snap.histogram("test.metrics.snap.lat").unwrap();
+        assert_eq!(summary.count, 2);
+        assert_eq!(summary.mean, Duration::from_millis(20));
+        assert_eq!(summary.p99, Duration::from_millis(30));
+        let json = snap.to_json();
+        assert!(json.contains("\"test.metrics.snap.count\":7"), "{json}");
+        assert!(json.contains("\"p99_us\":30000"), "{json}");
+        assert!(snap.to_text().contains("test.metrics.snap.lat"));
+    }
+
+    #[test]
+    fn timing_helper_records() {
+        let h = registry().histogram("test.metrics.timed");
+        let out = h.time(|| 42);
+        assert_eq!(out, 42);
+        assert_eq!(h.summary().count, 1);
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use adapta_idl::Value;
 use adapta_orb::{ObjRef, Orb};
+use adapta_telemetry::{registry, Span};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -316,7 +317,11 @@ impl Trader {
     /// (possibly excluding it from the match, never failing the query).
     pub fn query(&self, q: &Query) -> Result<Vec<OfferMatch>> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        registry().counter("trading.queries").incr();
+        let mut span = Span::start("trader:query");
+        span.attr("service_type", &q.service_type);
         if !self.inner.types.read().contains_key(&q.service_type) {
+            registry().counter("trading.query_errors").incr();
             return Err(TradingError::UnknownServiceType(q.service_type.clone()));
         }
         let constraint = Constraint::parse(&q.constraint)?;
@@ -337,11 +342,19 @@ impl Trader {
             .take(q.policies.search_card as usize)
             .cloned()
             .collect();
+        registry()
+            .counter("trading.offers_considered")
+            .add(candidates.len() as u64);
+        span.attr("offers_considered", &candidates.len().to_string());
 
+        let constraint_eval = registry().histogram("trading.constraint_eval");
         let mut matches: Vec<OfferMatch> = Vec::new();
         for offer in candidates {
             let (resolved, dynamic) = self.resolve_props(&offer, q.policies.use_dynamic_properties);
-            if constraint.matches(&resolved) {
+            let started = std::time::Instant::now();
+            let matched = constraint.matches(&resolved);
+            constraint_eval.record(started.elapsed());
+            if matched {
                 matches.push(OfferMatch {
                     id: offer.id.clone(),
                     service_type: offer.service_type.clone(),
@@ -351,6 +364,7 @@ impl Trader {
                 });
             }
         }
+        span.attr("matches", &matches.len().to_string());
 
         // Federation: spend one hop per link traversal.
         if q.policies.hop_count > 0 {
@@ -391,15 +405,24 @@ impl Trader {
                     if !use_dynamic {
                         continue;
                     }
-                    match self.inner.orb.invoke_ref(
+                    // The round trip to the evaluator rides the orb, so
+                    // it emits a `client:evalDP` span nested under the
+                    // trader's query (or dispatch) span automatically.
+                    registry().counter("trading.dynamic_evals").incr();
+                    let round_trip = registry().histogram("trading.dynamic_eval_round_trip");
+                    let started = std::time::Instant::now();
+                    let outcome = self.inner.orb.invoke_ref(
                         eval_ref,
                         "evalDP",
                         vec![Value::from(name.as_str())],
-                    ) {
+                    );
+                    round_trip.record(started.elapsed());
+                    match outcome {
                         Ok(v) => out.push((name.clone(), v)),
                         Err(_) => {
                             // OMG rule: a dynamic property that cannot be
                             // evaluated is simply absent from the offer.
+                            registry().counter("trading.dynamic_eval_failures").incr();
                         }
                     }
                 }

@@ -18,8 +18,10 @@
 //! workspace implements every substrate from scratch: the [`script`]
 //! interpreter, the [`idl`] type system, a dynamic [`orb`], the
 //! [`trading`] service, the [`monitor`] mechanism, the adaptation
-//! [`core`], and a deterministic [`sim`]ulation substrate used by the
-//! experiment harness.
+//! [`core`], a deterministic [`sim`]ulation substrate used by the
+//! experiment harness, and a [`telemetry`] layer (distributed tracing
+//! via request service contexts plus a process-wide metrics registry,
+//! exported by every orb through its `_telemetry` object).
 //!
 //! ## Quickstart
 //!
@@ -54,4 +56,5 @@ pub use adapta_monitor as monitor;
 pub use adapta_orb as orb;
 pub use adapta_script as script;
 pub use adapta_sim as sim;
+pub use adapta_telemetry as telemetry;
 pub use adapta_trading as trading;

@@ -244,3 +244,87 @@ fn events_are_counted_and_observable() {
     assert!(proxy.events_handled() > 0);
     assert!(proxy.invocations() >= 2);
 }
+
+/// Builds a standalone proxy over a local trader and one servant, so
+/// tests can deliver `notifyEvent` by hand through the observer ref.
+fn standalone_proxy(
+    service: &str,
+    configure: impl FnOnce(adapta::core::SmartProxyBuilder) -> adapta::core::SmartProxyBuilder,
+) -> (adapta::orb::Orb, adapta::core::SmartProxy) {
+    use adapta::orb::ServantFn;
+    use adapta::trading::{ExportRequest, ServiceTypeDef, Trader};
+
+    let orb = adapta::orb::Orb::new(&format!("sp-{service}"));
+    let trader = Trader::new(&orb);
+    trader.add_type(ServiceTypeDef::new(service)).unwrap();
+    let svc = orb
+        .activate(
+            "svc",
+            ServantFn::new(service, |_, _| Ok(Value::from("pong"))),
+        )
+        .unwrap();
+    trader.export(ExportRequest::new(service, svc)).unwrap();
+    let repo = adapta::idl::InterfaceRepository::new();
+    let builder = adapta::core::SmartProxy::builder(&orb, &repo, Arc::new(trader), service);
+    let proxy = configure(builder).build().unwrap();
+    (orb, proxy)
+}
+
+#[test]
+fn postponed_queue_drains_exactly_once_and_coalesces_duplicates() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let runs_in_strategy = runs.clone();
+    let (orb, proxy) = standalone_proxy("SpDrain", |b| {
+        b.strategy_native("Burst", move |_proxy, _event| {
+            runs_in_strategy.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+
+    // A burst of identical notifications arrives between invocations.
+    let observer = proxy.observer_ref();
+    for _ in 0..3 {
+        orb.invoke_ref(&observer, "notifyEvent", vec![Value::from("Burst")])
+            .unwrap();
+    }
+    assert_eq!(proxy.pending_events(), 3);
+    assert_eq!(runs.load(Ordering::Relaxed), 0, "handling is postponed");
+
+    // The next invocation drains the queue first — the burst coalesces
+    // into ONE strategy execution.
+    proxy.invoke("ping", vec![]).unwrap();
+    assert_eq!(proxy.pending_events(), 0);
+    assert_eq!(runs.load(Ordering::Relaxed), 1);
+
+    // Drained means drained: a further invocation must not re-run it.
+    proxy.invoke("ping", vec![]).unwrap();
+    assert_eq!(runs.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn failing_script_strategy_is_counted_and_does_not_lose_the_request() {
+    let (orb, proxy) = standalone_proxy("SpFail", |b| {
+        // Compiles fine, explodes at run time (calling a nil global).
+        b.strategy_script("Kaboom", "function(self, event) no_such_function() end")
+    });
+    orb.invoke_ref(
+        &proxy.observer_ref(),
+        "notifyEvent",
+        vec![Value::from("Kaboom")],
+    )
+    .unwrap();
+    assert_eq!(proxy.pending_events(), 1);
+
+    // The strategy fails, but the functional request sails through.
+    let reply = proxy.invoke("ping", vec![]).unwrap();
+    assert_eq!(reply, Value::from("pong"));
+    assert_eq!(proxy.events_handled(), 1);
+    let snap = adapta::telemetry::registry().snapshot();
+    assert_eq!(
+        snap.counter("smartproxy.SpFail.strategy.script.runs"),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter("smartproxy.SpFail.strategy.script.failures"),
+        Some(1)
+    );
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark closure a small, fixed number of iterations and
+//! prints the mean wall-clock time — enough for `cargo bench` to
+//! execute and produce comparable numbers without the statistical
+//! machinery (no warm-up modelling, outlier analysis, or plots).
+//! CLI arguments (`--bench`, filters) are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark (`CRITERION_ITERS`, default 50).
+fn iterations() -> u64 {
+    std::env::var("CRITERION_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Re-export position matching real criterion's `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times one benchmark's iterations.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration count, timing the
+    /// whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = iterations();
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<N: Into<String>, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iters > 0 {
+            bencher.total / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: {:?} mean over {} iters",
+            self.name, id, mean, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<N: Into<String>, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        std::env::set_var("CRITERION_ITERS", "3");
+        let mut runs = 0u64;
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("test");
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

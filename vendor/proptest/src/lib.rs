@@ -1,0 +1,731 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and the `proptest!` macro
+//! surface this workspace's property tests use. Differences from real
+//! proptest: no shrinking (a failing case panics with its inputs via
+//! the assertion message), and regex-string strategies support the
+//! subset `.`/`[class]`/literal atoms with `{m,n}` quantifiers.
+//!
+//! Case count defaults to 64 per property and can be overridden with
+//! the `PROPTEST_CASES` environment variable; the sequence is
+//! deterministic unless `PROPTEST_SEED` is set.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---- runner --------------------------------------------------------------
+
+/// Why a single generated case did not run to completion.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D00D)
+}
+
+/// The deterministic generator driving strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for case number `case` of a property.
+    pub fn for_case(case: u64) -> TestRng {
+        TestRng {
+            state: base_seed() ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---- the Strategy trait --------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (regenerating otherwise).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for
+    /// one level shallower and wraps it (e.g. in containers). `_size`
+    /// and `_branch` are accepted for API compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = OneOfStrategy::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 candidates", self.whence);
+    }
+}
+
+/// Uniform choice among strategies — the engine behind `prop_oneof!`.
+pub struct OneOfStrategy<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOfStrategy<T> {
+    /// Chooses uniformly among `arms` at each generation.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOfStrategy { arms }
+    }
+}
+
+impl<T> Strategy for OneOfStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- primitive strategies ------------------------------------------------
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        // Bias towards boundary values now and then, like real proptest.
+        match rng.below(16) {
+            0 => 0,
+            1 => 1,
+            2 => -1,
+            3 => i64::MAX,
+            4 => i64::MIN,
+            _ => rng.next_u64() as i64,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // The full domain, special values included.
+        match rng.below(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::NAN,
+            5 => f64::MIN_POSITIVE,
+            _ => {
+                let mag = rng.unit_f64() * 2.0 - 1.0;
+                let exp = rng.below(613) as i32 - 306;
+                mag * 10f64.powi(exp)
+            }
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        start + u * (end - start)
+    }
+}
+
+// ---- tuples --------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+// ---- pattern strings -----------------------------------------------------
+
+enum CharSet {
+    /// `.` — any printable character (ASCII plus a few multibyte ones).
+    Dot,
+    /// `[...]` or a literal — an explicit choice of characters.
+    Chars(Vec<char>),
+}
+
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the supported pattern subset: atoms are `.`, `[class]` (with
+/// ranges and `\`-escapes) or literal characters; an atom may be
+/// followed by `{m,n}` or `{n}`.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z` (a `-` just before `]` is literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        for code in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(code) {
+                                members.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        members.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [class] in pattern {pattern}");
+                i += 1; // consume ']'
+                CharSet::Chars(members)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                CharSet::Chars(vec![c])
+            }
+            c => {
+                i += 1;
+                CharSet::Chars(vec![c])
+            }
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated {{quantifier}} in pattern {pattern}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn sample_dot(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII, sometimes multibyte, to exercise UTF-8
+    // handling the way real proptest's `.` does.
+    match rng.below(12) {
+        0 => ['é', 'ß', '→', '日', '𝄞', 'ø'][rng.below(6) as usize],
+        _ => char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap_or('x'),
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min) as u64 + 1;
+            let count = atom.min + rng.below(span) as u32;
+            for _ in 0..count {
+                match &atom.set {
+                    CharSet::Dot => out.push(sample_dot(rng)),
+                    CharSet::Chars(members) => {
+                        assert!(!members.is_empty(), "empty [class] in pattern {self}");
+                        out.push(members[rng.below(members.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- collections ---------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`, `hash_map`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashMap;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `HashMap<K, V>` with a size drawn from `len`.
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: Range<usize>,
+    }
+
+    /// Generates hash maps from key and value strategies. Duplicate
+    /// generated keys collapse, so maps may come out smaller than the
+    /// drawn size (same as real proptest).
+    pub fn hash_map<K, V>(key: K, value: V, len: Range<usize>) -> HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Eq + Hash,
+    {
+        HashMapStrategy { key, value, len }
+    }
+
+    impl<K, V> Strategy for HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Eq + Hash,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---- macros --------------------------------------------------------------
+
+/// Chooses uniformly among strategy arms (all yielding the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOfStrategy::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::std::assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::std::assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Rejects the current case (another one is generated instead).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running [`cases`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let total = $crate::cases();
+                let mut case = 0u64;
+                let mut accepted = 0u64;
+                while accepted < total && case < total * 20 {
+                    let mut prop_rng = $crate::TestRng::for_case(case);
+                    case += 1;
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut prop_rng);)+
+                    let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strings_match_their_class() {
+        let mut rng = crate::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let lit = crate::Strategy::generate(&"[a-z0-9-]{0,12}", &mut rng);
+        assert!(lit
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        let head = crate::Strategy::generate(&"[A-Z][a-z]{3}", &mut rng);
+        assert_eq!(head.chars().count(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3i64..9, f in 0.0f64..=1.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_rejects_cases(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_collections_compose(
+            v in crate::collection::vec(prop_oneof![Just(1i64), (5i64..8).prop_map(|x| x)], 1..6),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x == 1 || (5..8).contains(&x)));
+        }
+    }
+}
