@@ -1,7 +1,23 @@
 #!/usr/bin/env bash
 # Local CI: the same gate the GitHub Actions workflow runs.
+#
+# `./ci.sh --stress` instead runs the concurrency-sensitive tests with
+# 10x the iteration counts and high test-thread parallelism, to shake
+# out transport races that a single quick run can miss. The stress run
+# is advisory (a separate non-blocking CI job), not part of the gate.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--stress" ]]; then
+    echo "==> stress: transport + concurrency tests (STRESS_ITERS=10)"
+    export STRESS_ITERS=10
+    export RUST_TEST_THREADS=16
+    cargo test -q --test concurrency -- --test-threads 16
+    cargo test -q -p adapta-orb transport -- --test-threads 16
+    cargo test -q --test adaptation -- --test-threads 16
+    echo "Stress run green."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -12,6 +12,8 @@
 //! | `exp_postponed` | E6 — postponed vs immediate event handling |
 //! | `exp_hot_swap` | E7 — dynamic strategy replacement |
 //! | `exp_trading_scale` | E5 — trader query scalability |
+//! | `exp_failover` | E9 — component failure and re-selection |
+//! | `exp_concurrency` | E10 — multiplexed TCP transport under concurrent callers |
 //!
 //! Criterion benches (`cargo bench`): `invocation` (E4), `trading`
 //! (E5 micro), `script` (E8).

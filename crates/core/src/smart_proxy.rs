@@ -14,10 +14,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use adapta_bridge::{FuncHandle, ScriptActor};
 use adapta_idl::{InterfaceRepository, Value};
-use adapta_orb::{ObjRef, Orb, OrbError, ServantFn};
+use adapta_orb::{InvokeOptions, ObjRef, Orb, OrbError, OrbResult, ServantFn};
 use adapta_telemetry::registry;
 use adapta_trading::{OfferMatch, Query, TradingService};
 use parking_lot::Mutex;
@@ -37,6 +38,11 @@ pub struct Subscription {
     /// monitor (remote evaluation): `function(observer, value, monitor)`.
     pub predicate: String,
 }
+
+/// How long a target that failed at the transport level is remembered
+/// (and its stale trader offers skipped during re-selection) before the
+/// proxy is willing to try it again.
+const DEFAULT_DEAD_TARGET_TTL: Duration = Duration::from_secs(5);
 
 impl Subscription {
     /// Creates a subscription.
@@ -96,9 +102,16 @@ struct SpInner {
     preference: String,
     fallback_on_empty: bool,
     immediate_handling: bool,
+    call_deadline: Option<Duration>,
+    dead_target_ttl: Duration,
     subscriptions: Vec<Subscription>,
     strategies: Mutex<HashMap<String, Strategy>>,
     binding: Mutex<Option<Binding>>,
+    /// Recently failed targets with their time of death: re-selection
+    /// skips their (possibly stale) trader offers until the TTL lapses,
+    /// so repeated failovers converge instead of ping-ponging back onto
+    /// a dead server.
+    dead_targets: Mutex<Vec<(ObjRef, Instant)>>,
     events: Mutex<VecDeque<String>>,
     observer_ref: OnceLock<ObjRef>,
     observer_key: Mutex<String>,
@@ -109,9 +122,26 @@ struct SpInner {
     events_received: AtomicU64,
     events_handled: AtomicU64,
     failovers: AtomicU64,
+    repicks_avoided: AtomicU64,
 }
 
 impl SpInner {
+    /// Remembers `target` as dead (refreshing its timestamp) and prunes
+    /// expired entries.
+    fn note_dead(&self, target: &ObjRef) {
+        let now = Instant::now();
+        let mut dead = self.dead_targets.lock();
+        dead.retain(|(t, since)| t != target && now.duration_since(*since) < self.dead_target_ttl);
+        dead.push((target.clone(), now));
+    }
+
+    /// The targets still considered dead right now.
+    fn dead_snapshot(&self) -> Vec<ObjRef> {
+        let now = Instant::now();
+        let mut dead = self.dead_targets.lock();
+        dead.retain(|(_, since)| now.duration_since(*since) < self.dead_target_ttl);
+        dead.iter().map(|(t, _)| t.clone()).collect()
+    }
     /// Registry metric name under this proxy's `smartproxy.<type>.`
     /// namespace.
     fn metric(&self, stat: &str) -> String {
@@ -156,6 +186,8 @@ pub struct SmartProxyBuilder {
     fallback_on_empty: bool,
     immediate_handling: bool,
     lazy: bool,
+    call_deadline: Option<Duration>,
+    dead_target_ttl: Duration,
     subscriptions: Vec<Subscription>,
     native_strategies: Vec<(String, Strategy)>,
     script_strategies: Vec<(String, String)>,
@@ -191,6 +223,22 @@ impl SmartProxyBuilder {
     /// Skip the initial selection; the first invocation will select.
     pub fn lazy(mut self) -> Self {
         self.lazy = true;
+        self
+    }
+
+    /// Bounds every two-way invocation through this proxy: a reply that
+    /// misses the deadline fails (and triggers failover) instead of
+    /// hanging on the transport's 30-second backstop.
+    pub fn call_deadline(mut self, deadline: Duration) -> Self {
+        self.call_deadline = Some(deadline);
+        self
+    }
+
+    /// How long a failed target stays on the proxy's dead list (its
+    /// stale trader offers are skipped during re-selection within the
+    /// TTL). Defaults to 5 seconds.
+    pub fn dead_target_ttl(mut self, ttl: Duration) -> Self {
+        self.dead_target_ttl = ttl;
         self
     }
 
@@ -234,9 +282,12 @@ impl SmartProxyBuilder {
             preference: self.preference,
             fallback_on_empty: self.fallback_on_empty,
             immediate_handling: self.immediate_handling,
+            call_deadline: self.call_deadline,
+            dead_target_ttl: self.dead_target_ttl,
             subscriptions: self.subscriptions,
             strategies: Mutex::new(HashMap::new()),
             binding: Mutex::new(None),
+            dead_targets: Mutex::new(Vec::new()),
             events: Mutex::new(VecDeque::new()),
             observer_ref: OnceLock::new(),
             observer_key: Mutex::new(String::new()),
@@ -247,6 +298,7 @@ impl SmartProxyBuilder {
             events_received: AtomicU64::new(0),
             events_handled: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            repicks_avoided: AtomicU64::new(0),
         });
         let proxy = SmartProxy { inner };
 
@@ -322,6 +374,8 @@ impl SmartProxy {
             fallback_on_empty: true,
             immediate_handling: false,
             lazy: false,
+            call_deadline: None,
+            dead_target_ttl: DEFAULT_DEAD_TARGET_TTL,
             subscriptions: Vec::new(),
             native_strategies: Vec::new(),
             script_strategies: Vec::new(),
@@ -380,6 +434,12 @@ impl SmartProxy {
     /// Invocation-time failovers after a component failure.
     pub fn failovers(&self) -> u64 {
         self.inner.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Stale offers of known-dead targets skipped during re-selection
+    /// (within the dead-target TTL).
+    pub fn repicks_avoided(&self) -> u64 {
+        self.inner.repicks_avoided.load(Ordering::Relaxed)
     }
 
     // ---- strategies ------------------------------------------------------
@@ -512,7 +572,9 @@ impl SmartProxy {
     /// Like [`select_with`](Self::select_with), skipping offers whose
     /// target is `exclude` (used after a component failure so the
     /// failover does not rebind the dead server, whose stale offer may
-    /// still be registered).
+    /// still be registered). Every selection additionally skips targets
+    /// on the proxy's short-TTL dead list, so a `reselect()` moments
+    /// after a failover cannot re-pick the dead server's stale offer.
     ///
     /// # Errors
     ///
@@ -523,11 +585,24 @@ impl SmartProxy {
         fallback: bool,
         exclude: Option<&ObjRef>,
     ) -> Result<bool> {
+        let dead = self.inner.dead_snapshot();
         let filter = |matches: Vec<OfferMatch>| -> Vec<OfferMatch> {
-            match exclude {
-                Some(dead) => matches.into_iter().filter(|m| m.target != *dead).collect(),
-                None => matches,
-            }
+            matches
+                .into_iter()
+                .filter(|m| {
+                    if exclude.is_some_and(|x| m.target == *x) {
+                        return false;
+                    }
+                    if dead.contains(&m.target) {
+                        self.inner.repicks_avoided.fetch_add(1, Ordering::Relaxed);
+                        registry()
+                            .counter(&self.inner.metric("failover.repicks_avoided"))
+                            .incr();
+                        return false;
+                    }
+                    true
+                })
+                .collect()
         };
         let q = Query::new(&self.inner.service_type)
             .constraint(constraint)
@@ -710,11 +785,12 @@ impl SmartProxy {
         self.inner.invocations.fetch_add(1, Ordering::Relaxed);
         self.handle_pending_events();
         let target = self.ensure_bound()?;
-        match self.inner.orb.invoke_ref(&target, op, args.clone()) {
+        match self.invoke_transport(&target, op, args.clone()) {
             Ok(v) => Ok(v),
             Err(e) if is_connectivity_error(&e) => {
                 self.inner.failovers.fetch_add(1, Ordering::Relaxed);
                 registry().counter(&self.inner.metric("failovers")).incr();
+                self.inner.note_dead(&target);
                 self.unbind();
                 if !self.select_excluding(&self.inner.constraint.clone(), true, Some(&target))? {
                     return Err(CoreError::Unbound(format!(
@@ -725,10 +801,31 @@ impl SmartProxy {
                 let target = self
                     .current_target()
                     .expect("select_excluding bound a component");
-                Ok(self.inner.orb.invoke_ref(&target, op, args)?)
+                match self.invoke_transport(&target, op, args) {
+                    Ok(v) => Ok(v),
+                    Err(e) => {
+                        // The replacement failed too: remember it, so
+                        // the next invocation converges on a live
+                        // target instead of re-trying known-dead ones.
+                        if is_connectivity_error(&e) {
+                            self.inner.note_dead(&target);
+                        }
+                        Err(e.into())
+                    }
+                }
             }
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// One two-way invocation with this proxy's per-call deadline (if
+    /// configured): a hung server fails fast and triggers failover.
+    fn invoke_transport(&self, target: &ObjRef, op: &str, args: Vec<Value>) -> OrbResult<Value> {
+        let opts = match self.inner.call_deadline {
+            Some(d) => InvokeOptions::new().deadline(d),
+            None => InvokeOptions::default(),
+        };
+        self.inner.orb.invoke_ref_with(target, op, args, opts)
     }
 
     /// Invokes a oneway operation on the represented service.
@@ -763,7 +860,10 @@ impl SmartProxy {
 fn is_connectivity_error(e: &OrbError) -> bool {
     matches!(
         e,
-        OrbError::Transport(_) | OrbError::NodeUnreachable { .. } | OrbError::ObjectNotFound { .. }
+        OrbError::Transport(_)
+            | OrbError::NodeUnreachable { .. }
+            | OrbError::ObjectNotFound { .. }
+            | OrbError::DeadlineExpired { .. }
     )
 }
 

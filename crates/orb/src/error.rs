@@ -24,6 +24,12 @@ pub enum OrbError {
     Marshal(String),
     /// A transport-level failure (connection refused, broken pipe…).
     Transport(String),
+    /// A per-call deadline elapsed before the reply arrived. Only the
+    /// matching call fails; the pooled connection stays usable.
+    DeadlineExpired {
+        /// The deadline that elapsed.
+        after: std::time::Duration,
+    },
     /// The remote servant raised an application exception.
     RemoteException {
         /// Exception text from the servant.
@@ -63,6 +69,9 @@ impl fmt::Display for OrbError {
             }
             OrbError::Marshal(m) => write!(f, "marshalling error: {m}"),
             OrbError::Transport(m) => write!(f, "transport error: {m}"),
+            OrbError::DeadlineExpired { after } => {
+                write!(f, "deadline of {after:?} expired before the reply arrived")
+            }
             OrbError::RemoteException { message } => {
                 write!(f, "remote exception: {message}")
             }

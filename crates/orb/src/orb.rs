@@ -119,15 +119,47 @@ impl OrbStats {
     }
 }
 
+/// Per-invocation options for [`Orb::invoke_ref_with`] (and the
+/// [`Request`](crate::Request) builder).
+///
+/// Today this carries the per-call deadline: how long the client waits
+/// for the reply before failing *this call only* with
+/// [`OrbError::DeadlineExpired`]. On the multiplexed TCP transport an
+/// expired deadline abandons just the matching pending-reply entry —
+/// the pooled connection and every other in-flight call stay healthy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvokeOptions {
+    deadline: Option<std::time::Duration>,
+}
+
+impl InvokeOptions {
+    /// Options with every field at its default (30 s deadline backstop).
+    pub fn new() -> InvokeOptions {
+        InvokeOptions::default()
+    }
+
+    /// Sets the per-call deadline.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> InvokeOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The effective deadline: the explicit one, or the transport's
+    /// 30-second liveness backstop.
+    pub fn effective_deadline(&self) -> std::time::Duration {
+        self.deadline.unwrap_or(transport::tcp::DEFAULT_DEADLINE)
+    }
+}
+
 pub(crate) struct OrbCore {
-    node: String,
+    pub(crate) node: String,
     pub(crate) adapter: ObjectAdapter,
     stats: StatCells,
     pub(crate) tcp_addr: RwLock<Option<String>>,
     sync_oneway: AtomicBool,
     oneway_tx: Mutex<Option<Sender<RequestBody>>>,
     next_id: AtomicU64,
-    pub(crate) tcp_pool: Mutex<HashMap<String, Arc<Mutex<std::net::TcpStream>>>>,
+    pub(crate) tcp_pool: Mutex<HashMap<String, Arc<transport::tcp::MuxConnection>>>,
     client_interceptors: RwLock<Vec<Arc<dyn ClientInterceptor>>>,
     server_interceptors: RwLock<Vec<Arc<dyn ServerInterceptor>>>,
 }
@@ -574,13 +606,30 @@ impl Orb {
     /// Transport errors, [`OrbError::ObjectNotFound`], or the remote
     /// exception raised by the servant.
     pub fn invoke_ref(&self, target: &ObjRef, op: &str, args: Vec<Value>) -> OrbResult<Value> {
+        self.invoke_ref_with(target, op, args, InvokeOptions::default())
+    }
+
+    /// Sends a two-way invocation with explicit per-call options (for
+    /// example a [deadline](InvokeOptions::deadline)).
+    ///
+    /// # Errors
+    ///
+    /// As [`invoke_ref`](Self::invoke_ref), plus
+    /// [`OrbError::DeadlineExpired`] when the reply misses the deadline.
+    pub fn invoke_ref_with(
+        &self,
+        target: &ObjRef,
+        op: &str,
+        args: Vec<Value>,
+        opts: InvokeOptions,
+    ) -> OrbResult<Value> {
         // The client span opens before the interceptor chain runs, so
         // spans emitted by observe hooks (and by nested invocations the
         // hooks trigger) nest under it.
         let mut span = Span::start(&format!("client:{op}"));
         span.attr("node", &self.core.node);
         span.attr("key", &target.key);
-        let outcome = self.invoke_traced(target, op, args, &span);
+        let outcome = self.invoke_traced(target, op, args, opts, &span);
         if outcome.is_err() {
             span.attr("error", "true");
         }
@@ -592,6 +641,7 @@ impl Orb {
         target: &ObjRef,
         op: &str,
         args: Vec<Value>,
+        opts: InvokeOptions,
         span: &Span,
     ) -> OrbResult<Value> {
         let target = self.intercept_client(target, op, &args, false)?;
@@ -608,7 +658,7 @@ impl Orb {
         };
         self.core.stats.requests_sent.incr();
         let outcome = (|| {
-            let reply = self.route(&target, Message::Request(body))?;
+            let reply = self.route(&target, Message::Request(body), opts.effective_deadline())?;
             let reply = reply.expect("two-way invocations produce a reply");
             self.core.stats.replies_received.incr();
             reply.outcome.map_err(Self::revive_error)
@@ -638,7 +688,12 @@ impl Orb {
             context,
         };
         self.core.stats.oneways_sent.incr();
-        self.route(&target, Message::Oneway(body))?;
+        // Oneways never wait for a reply, so the deadline is moot.
+        self.route(
+            &target,
+            Message::Oneway(body),
+            InvokeOptions::default().effective_deadline(),
+        )?;
         Ok(())
     }
 
@@ -661,8 +716,14 @@ impl Orb {
     }
 
     /// Routes an encoded message to the target endpoint and returns the
-    /// reply body for two-way requests.
-    fn route(&self, target: &ObjRef, msg: Message) -> OrbResult<Option<ReplyBody>> {
+    /// reply body for two-way requests. `deadline` bounds the wait for
+    /// a TCP reply; in-process dispatch is synchronous and ignores it.
+    fn route(
+        &self,
+        target: &ObjRef,
+        msg: Message,
+        deadline: std::time::Duration,
+    ) -> OrbResult<Option<ReplyBody>> {
         if let Some(node) = target.endpoint.strip_prefix("inproc://") {
             let peer = lookup_node(node).ok_or_else(|| OrbError::NodeUnreachable {
                 endpoint: target.endpoint.clone(),
@@ -691,7 +752,7 @@ impl Orb {
                 Message::Reply(_) => Err(OrbError::Marshal("unexpected reply".into())),
             }
         } else if let Some(addr) = target.endpoint.strip_prefix("tcp://") {
-            transport::tcp::invoke(&self.core, addr, msg)
+            transport::tcp::invoke(&self.core, addr, msg, deadline)
         } else {
             Err(OrbError::NodeUnreachable {
                 endpoint: target.endpoint.clone(),

@@ -2,7 +2,7 @@
 
 use adapta_idl::Value;
 
-use crate::orb::Orb;
+use crate::orb::{InvokeOptions, Orb};
 use crate::reference::ObjRef;
 use crate::OrbResult;
 
@@ -56,6 +56,18 @@ impl Proxy {
         self.orb.invoke_ref(&self.target, op, args)
     }
 
+    /// Invokes a two-way operation with explicit per-call options
+    /// (for example a deadline).
+    ///
+    /// # Errors
+    ///
+    /// As [`invoke`](Self::invoke), plus
+    /// [`OrbError::DeadlineExpired`](crate::OrbError::DeadlineExpired)
+    /// when the reply misses the deadline.
+    pub fn invoke_with(&self, op: &str, args: Vec<Value>, opts: InvokeOptions) -> OrbResult<Value> {
+        self.orb.invoke_ref_with(&self.target, op, args, opts)
+    }
+
     /// Invokes a oneway operation (fire and forget).
     ///
     /// # Errors
@@ -71,6 +83,7 @@ impl Proxy {
             proxy: self,
             op: op.to_owned(),
             args: Vec::new(),
+            opts: InvokeOptions::default(),
         }
     }
 }
@@ -81,6 +94,7 @@ pub struct Request<'a> {
     proxy: &'a Proxy,
     op: String,
     args: Vec<Value>,
+    opts: InvokeOptions,
 }
 
 impl Request<'_> {
@@ -90,13 +104,19 @@ impl Request<'_> {
         self
     }
 
+    /// Sets a per-call deadline (two-way invocations only).
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.opts = self.opts.deadline(deadline);
+        self
+    }
+
     /// Invokes two-way and returns the result.
     ///
     /// # Errors
     ///
-    /// As [`Proxy::invoke`].
+    /// As [`Proxy::invoke_with`].
     pub fn invoke(self) -> OrbResult<Value> {
-        self.proxy.invoke(&self.op, self.args)
+        self.proxy.invoke_with(&self.op, self.args, self.opts)
     }
 
     /// Sends as a oneway invocation.

@@ -3,6 +3,11 @@
 //! * in-process routing lives in [`crate::Orb`] itself (node registry +
 //!   full marshalling round trip);
 //! * [`tcp`] carries frames between processes: `u32` little-endian
-//!   length prefix + message body (see [`crate::Message`]).
+//!   length prefix + message body (see [`crate::Message`]). Client
+//!   connections are *multiplexed* — one pooled socket per endpoint
+//!   carries any number of concurrent requests, correlated by request
+//!   id — and servers dispatch each request onto a per-connection
+//!   worker pool so slow servants don't head-of-line-block a
+//!   connection.
 
 pub mod tcp;

@@ -1,24 +1,60 @@
-//! The TCP transport: length-prefixed frames, one pooled connection per
-//! remote endpoint, a listener thread per serving orb.
+//! The TCP transport: length-prefixed frames, one *multiplexed*
+//! connection per remote endpoint, a listener thread per serving orb.
+//!
+//! ## Client side
+//!
+//! Each pooled connection ([`MuxConnection`]) owns a dedicated reader
+//! thread and a pending-reply table keyed by the request id that is
+//! already on the wire in every [`Message::Request`]. Writers take the
+//! stream lock only for the frame write, so N concurrent invocations of
+//! the same endpoint pipeline on one socket and complete in roughly the
+//! latency of a single call instead of their sum. A per-call deadline
+//! fails just the matching pending entry — a slow reply never poisons
+//! the connection for other callers. A reply whose id routes nowhere
+//! (not pending, not abandoned by a deadline) means the stream is
+//! desynchronized: the connection is killed and evicted so no later
+//! caller can read a stale reply as its own.
+//!
+//! ## Server side
+//!
+//! Each accepted connection dispatches decoded requests onto a small
+//! on-demand worker pool; replies are written back in completion order
+//! through a shared writer. One slow servant no longer head-of-line
+//! blocks the other requests pipelined on the same connection.
+//!
+//! The wire protocol is unchanged: request ids were already carried by
+//! every frame, multiplexing only starts using them for correlation.
 
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+use adapta_telemetry::{registry, Gauge};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::error::OrbError;
-use crate::message::{Message, ReplyBody};
+use crate::message::{Message, ReplyBody, RequestBody};
 use crate::orb::OrbCore;
 use crate::OrbResult;
 
 /// Upper bound on accepted frame size (matches the marshalling limit).
 const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
-/// How long a client waits for a reply before declaring the connection
-/// dead. Generous: this is a liveness backstop, not a pacing knob.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default per-call deadline: how long a client waits for a reply
+/// before failing that call. Generous: this is a liveness backstop, not
+/// a pacing knob; override it per call with `InvokeOptions`.
+pub(crate) const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Maximum dispatch workers per server-side connection.
+const MAX_CONN_WORKERS: usize = 32;
+
+/// Pause after a transient accept failure (`EMFILE`, `ECONNABORTED`…)
+/// before retrying, so a file-descriptor storm cannot spin the loop.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(20);
 
 fn io_err(context: &str, e: std::io::Error) -> OrbError {
     OrbError::Transport(format!("{context}: {e}"))
@@ -38,12 +74,6 @@ fn read_frame(stream: &mut TcpStream) -> OrbResult<Option<Vec<u8>>> {
     match stream.read_exact(&mut len) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            return Err(OrbError::Transport("timed out waiting for a reply".into()))
-        }
         Err(e) => return Err(io_err("read frame length", e)),
     }
     let len = u32::from_le_bytes(len);
@@ -56,6 +86,8 @@ fn read_frame(stream: &mut TcpStream) -> OrbResult<Option<Vec<u8>>> {
         .map_err(|e| io_err("read frame body", e))?;
     Ok(Some(body))
 }
+
+// ---- server side -----------------------------------------------------------
 
 /// Starts a listener for `core` on `addr`; returns the bound address.
 ///
@@ -92,112 +124,395 @@ fn accept_loop(listener: TcpListener, weak: Weak<OrbCore>) {
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => return,
+            Err(_) => {
+                // Transient accept failures (EMFILE, ECONNABORTED…)
+                // must not permanently kill the listener: count, back
+                // off, keep accepting. The loop still exits once the
+                // orb is gone.
+                if let Some(core) = weak.upgrade() {
+                    registry()
+                        .counter(&format!("orb.{}.tcp.accept.errors", core.node))
+                        .incr();
+                }
+                std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+            }
         }
     }
 }
 
+/// One queued server-side job: the decoded request plus whether a reply
+/// frame must be written back.
+type Job = (RequestBody, bool);
+
 fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let (tx, rx) = unbounded::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = Arc::new(AtomicUsize::new(0));
+    let idle = Arc::new(AtomicUsize::new(0));
     loop {
         let Ok(Some(body)) = read_frame(&mut stream) else {
-            return;
+            return; // worker channel closes with `tx`, draining the pool
         };
         let Some(core) = weak.upgrade() else { return };
         core.count_bytes_in(4 + body.len());
         let Ok(msg) = Message::decode(&body) else {
             return; // protocol violation: drop the connection
         };
-        match msg {
-            Message::Request(req) => {
-                let reply = core.serve(req);
-                let bytes = Message::Reply(reply).encode();
-                core.count_bytes_out(4 + bytes.len());
-                if write_frame(&mut stream, &bytes).is_err() {
-                    return;
-                }
-            }
-            Message::Oneway(req) => {
-                let _ = core.serve(req);
-            }
+        drop(core);
+        let job = match msg {
+            Message::Request(req) => (req, true),
+            Message::Oneway(req) => (req, false),
             Message::Reply(_) => return, // clients never push replies
+        };
+        // Reserve a waiting worker for this job, or grow the pool; only
+        // this dispatcher decrements `idle`, and a worker re-enters it
+        // strictly after finishing a job, so a reservation always names
+        // a worker that is (or is about to be) blocked on the queue.
+        // Replies are written in completion order through the shared
+        // writer, so a slow servant cannot head-of-line-block the
+        // connection. At the worker cap the job simply queues.
+        if idle.load(Ordering::Acquire) > 0 {
+            idle.fetch_sub(1, Ordering::AcqRel);
+        } else if workers.load(Ordering::Acquire) < MAX_CONN_WORKERS {
+            workers.fetch_add(1, Ordering::AcqRel);
+            spawn_conn_worker(
+                rx.clone(),
+                writer.clone(),
+                weak.clone(),
+                workers.clone(),
+                idle.clone(),
+            );
+        }
+        if tx.send(job).is_err() {
+            return;
         }
     }
 }
 
-fn pooled_connection(core: &OrbCore, addr: &str) -> OrbResult<Arc<Mutex<TcpStream>>> {
-    if let Some(conn) = core.tcp_pool.lock().get(addr) {
-        return Ok(conn.clone());
+fn spawn_conn_worker(
+    rx: Arc<Mutex<Receiver<Job>>>,
+    writer: Arc<Mutex<TcpStream>>,
+    weak: Weak<OrbCore>,
+    workers: Arc<AtomicUsize>,
+    idle: Arc<AtomicUsize>,
+) {
+    let workers_for_thread = workers.clone();
+    let spawned = std::thread::Builder::new()
+        .name("orb-conn-worker".to_owned())
+        .spawn(move || {
+            let workers = workers_for_thread;
+            let mut inflight: Option<Gauge> = None;
+            loop {
+                // The dispatcher already accounted for this worker —
+                // either by spawning it for the job or by reserving it
+                // out of `idle` — so no idle bookkeeping around the
+                // blocking receive itself.
+                let job = rx.lock().recv();
+                let Ok((req, needs_reply)) = job else { break };
+                let Some(core) = weak.upgrade() else { break };
+                let gauge = inflight.get_or_insert_with(|| {
+                    registry().gauge(&format!("orb.{}.tcp.server.inflight", core.node))
+                });
+                gauge.add(1);
+                let reply = core.serve(req);
+                gauge.sub(1);
+                if needs_reply {
+                    let bytes = Message::Reply(reply).encode();
+                    core.count_bytes_out(4 + bytes.len());
+                    if write_frame(&mut writer.lock(), &bytes).is_err() {
+                        break;
+                    }
+                }
+                // Job done: rejoin the waiting pool. This must come
+                // after the reply write so a reserved worker can never
+                // exit between reservation and pickup.
+                idle.fetch_add(1, Ordering::AcqRel);
+            }
+            workers.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        workers.fetch_sub(1, Ordering::AcqRel);
     }
+}
+
+// ---- client side -----------------------------------------------------------
+
+/// Mutable state shared between a connection's writers and its reader
+/// thread, all behind one lock so liveness checks and entry updates are
+/// atomic.
+#[derive(Default)]
+struct PendingState {
+    /// False once the reader declared the connection dead.
+    alive: bool,
+    /// Request id → reply slot of the caller awaiting it.
+    entries: HashMap<u64, Sender<ReplyBody>>,
+    /// Ids whose caller gave up (deadline); their late replies are
+    /// discarded instead of being treated as desynchronization.
+    abandoned: HashSet<u64>,
+    /// Why the connection died, for error messages.
+    death: Option<String>,
+}
+
+/// A multiplexed client connection: shared writer + reader thread +
+/// pending-reply table. Cheap to share; the pool hands out clones of
+/// the `Arc` and concurrent invocations pipeline on the one socket.
+pub(crate) struct MuxConnection {
+    writer: Mutex<TcpStream>,
+    state: Arc<Mutex<PendingState>>,
+    /// `orb.<node>.tcp.client.inflight` — calls awaiting a reply.
+    inflight: Gauge,
+    /// `orb.<node>.tcp.client.pipeline_depth` — pending entries on the
+    /// most recently used connection (a high-water mark of pipelining).
+    depth: Gauge,
+}
+
+impl MuxConnection {
+    fn is_alive(&self) -> bool {
+        self.state.lock().alive
+    }
+
+    fn death_reason(&self) -> String {
+        self.state
+            .lock()
+            .death
+            .clone()
+            .unwrap_or_else(|| "connection closed".to_owned())
+    }
+
+    /// Reserves a reply slot for `id`; `None` when the connection is
+    /// already dead (the caller should evict and retry on a fresh one).
+    fn register(&self, id: u64) -> Option<(Receiver<ReplyBody>, usize)> {
+        let (tx, rx) = bounded(1);
+        let mut st = self.state.lock();
+        if !st.alive {
+            return None;
+        }
+        st.entries.insert(id, tx);
+        Some((rx, st.entries.len()))
+    }
+
+    /// Abandons a pending call whose deadline expired: only that entry
+    /// fails; the connection stays usable and the late reply will be
+    /// discarded on arrival instead of desynchronizing the stream.
+    fn forget(&self, id: u64) {
+        let mut st = self.state.lock();
+        if st.entries.remove(&id).is_some() {
+            st.abandoned.insert(id);
+        }
+    }
+
+    /// Declares the connection dead: fails every pending caller (their
+    /// senders drop, so receivers disconnect) and wakes the reader by
+    /// shutting the socket down.
+    fn kill(&self, reason: &str) {
+        {
+            let mut st = self.state.lock();
+            if st.alive {
+                st.alive = false;
+                st.death = Some(reason.to_owned());
+            }
+            st.entries.clear();
+            st.abandoned.clear();
+        }
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+    }
+}
+
+impl Drop for MuxConnection {
+    fn drop(&mut self) {
+        // Wakes the reader thread (which holds only a `Weak` to this
+        // connection) so it exits instead of blocking forever.
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+    }
+}
+
+fn connect(core: &Arc<OrbCore>, addr: &str) -> OrbResult<Arc<MuxConnection>> {
     let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(REPLY_TIMEOUT));
-    let conn = Arc::new(Mutex::new(stream));
-    core.tcp_pool.lock().insert(addr.to_owned(), conn.clone());
+    let reader_stream = stream
+        .try_clone()
+        .map_err(|e| io_err("clone stream for reader", e))?;
+    let state = Arc::new(Mutex::new(PendingState {
+        alive: true,
+        ..PendingState::default()
+    }));
+    let conn = Arc::new(MuxConnection {
+        writer: Mutex::new(stream),
+        state: state.clone(),
+        inflight: registry().gauge(&format!("orb.{}.tcp.client.inflight", core.node)),
+        depth: registry().gauge(&format!("orb.{}.tcp.client.pipeline_depth", core.node)),
+    });
+    let weak_core = Arc::downgrade(core);
+    let weak_conn = Arc::downgrade(&conn);
+    let reader_addr = addr.to_owned();
+    std::thread::Builder::new()
+        .name(format!("orb-mux-reader-{addr}"))
+        .spawn(move || reader_loop(reader_stream, state, weak_core, weak_conn, reader_addr))
+        .map_err(|e| OrbError::Transport(format!("spawn reader thread: {e}")))?;
     Ok(conn)
 }
 
-fn evict(core: &OrbCore, addr: &str) {
-    core.tcp_pool.lock().remove(addr);
+/// Routes incoming reply frames to their pending callers until the
+/// connection dies; then fails every pending caller and evicts the
+/// connection from the pool.
+fn reader_loop(
+    mut stream: TcpStream,
+    state: Arc<Mutex<PendingState>>,
+    weak_core: Weak<OrbCore>,
+    weak_conn: Weak<MuxConnection>,
+    addr: String,
+) {
+    let reason = loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => break "connection closed by peer".to_owned(),
+            Err(e) => break e.to_string(),
+        };
+        if let Some(core) = weak_core.upgrade() {
+            core.count_bytes_in(4 + body.len());
+        }
+        let reply = match Message::decode(&body) {
+            Ok(Message::Reply(reply)) => reply,
+            Ok(_) => break "server pushed a non-reply frame".to_owned(),
+            Err(e) => break format!("undecodable reply frame: {e}"),
+        };
+        let id = reply.id;
+        let routed = {
+            let mut st = state.lock();
+            if let Some(tx) = st.entries.remove(&id) {
+                let _ = tx.send(reply);
+                true
+            } else {
+                // A deadline-abandoned call's late reply: discard.
+                st.abandoned.remove(&id)
+            }
+        };
+        if !routed {
+            // An id that routes nowhere means the stream is
+            // desynchronized; killing the connection here guarantees
+            // no later caller can read a stale reply as its own.
+            break format!("unroutable reply id {id}: connection desynchronized");
+        }
+    };
+    {
+        let mut st = state.lock();
+        if st.alive {
+            st.alive = false;
+            st.death = Some(reason);
+        }
+        st.entries.clear();
+        st.abandoned.clear();
+    }
+    if let (Some(core), Some(conn)) = (weak_core.upgrade(), weak_conn.upgrade()) {
+        evict_if_current(&core, &addr, &conn);
+    }
 }
 
-/// Sends `msg` to `addr`; for two-way requests, waits for and returns
-/// the matching reply.
+/// Removes `conn` from the pool — but only if it is still the pooled
+/// entry for `addr` (a replacement connection must survive).
+fn evict_if_current(core: &OrbCore, addr: &str, conn: &Arc<MuxConnection>) {
+    let mut pool = core.tcp_pool.lock();
+    if pool.get(addr).is_some_and(|c| Arc::ptr_eq(c, conn)) {
+        pool.remove(addr);
+    }
+}
+
+fn pooled_connection(core: &Arc<OrbCore>, addr: &str) -> OrbResult<Arc<MuxConnection>> {
+    if let Some(conn) = core.tcp_pool.lock().get(addr) {
+        if conn.is_alive() {
+            return Ok(conn.clone());
+        }
+    }
+    // Connect outside the pool lock; on a race, prefer whichever live
+    // connection landed in the pool (the loser is dropped, shutting its
+    // socket down and stopping its reader).
+    let conn = connect(core, addr)?;
+    let mut pool = core.tcp_pool.lock();
+    match pool.get(addr) {
+        Some(existing) if existing.is_alive() => Ok(existing.clone()),
+        _ => {
+            pool.insert(addr.to_owned(), conn.clone());
+            Ok(conn)
+        }
+    }
+}
+
+/// Sends `msg` to `addr`; for two-way requests, waits up to `deadline`
+/// for the matching reply (correlated by request id, so any number of
+/// calls may be in flight on the connection at once).
 ///
 /// A stale pooled connection is evicted and retried once — but only when
 /// the failure happened before any byte of the request could have been
-/// executed remotely (the initial write), never mid-reply.
-pub(crate) fn invoke(core: &OrbCore, addr: &str, msg: Message) -> OrbResult<Option<ReplyBody>> {
+/// executed remotely (registration or the initial write), never
+/// mid-reply. A deadline expiry fails just this call.
+pub(crate) fn invoke(
+    core: &Arc<OrbCore>,
+    addr: &str,
+    msg: Message,
+    deadline: Duration,
+) -> OrbResult<Option<ReplyBody>> {
     let bytes = msg.encode();
     let expected_id = match &msg {
         Message::Request(body) => Some(body.id),
         _ => None,
     };
-    for attempt in 0..2 {
+    let mut last_err = None;
+    for _attempt in 0..2 {
         let conn = pooled_connection(core, addr)?;
-        let mut stream = conn.lock();
-        match write_frame(&mut stream, &bytes) {
-            Ok(()) => {}
-            Err(e) => {
-                drop(stream);
-                evict(core, addr);
-                if attempt == 0 {
+        let registered = match expected_id {
+            Some(id) => match conn.register(id) {
+                Some(slot) => Some(slot),
+                None => {
+                    evict_if_current(core, addr, &conn);
+                    last_err = Some(OrbError::Transport(conn.death_reason()));
                     continue;
                 }
-                return Err(e);
-            }
+            },
+            None => None,
+        };
+        if let Err(e) = conn.write_frame_locked(&bytes) {
+            // A partial write leaves the stream unusable for everyone:
+            // fail all pending callers and retry this request once on a
+            // fresh connection.
+            conn.kill("request write failed");
+            evict_if_current(core, addr, &conn);
+            last_err = Some(e);
+            continue;
         }
         core.count_bytes_out(4 + bytes.len());
-        let Some(expected_id) = expected_id else {
+        let Some((rx, depth)) = registered else {
             return Ok(None); // oneway: fire and forget
         };
-        let reply = match read_frame(&mut stream) {
-            Ok(Some(body)) => body,
-            Ok(None) => {
-                drop(stream);
-                evict(core, addr);
-                return Err(OrbError::Transport(
-                    "connection closed while awaiting reply".into(),
-                ));
+        conn.depth.set(depth as i64);
+        conn.inflight.add(1);
+        let out = match rx.recv_timeout(deadline) {
+            Ok(reply) => Ok(Some(reply)),
+            Err(RecvTimeoutError::Timeout) => {
+                let id = expected_id.expect("two-way call has an id");
+                conn.forget(id);
+                Err(OrbError::DeadlineExpired { after: deadline })
             }
-            Err(e) => {
-                drop(stream);
-                evict(core, addr);
-                return Err(e);
-            }
+            Err(RecvTimeoutError::Disconnected) => Err(OrbError::Transport(format!(
+                "connection lost while awaiting reply: {}",
+                conn.death_reason()
+            ))),
         };
-        core.count_bytes_in(4 + reply.len());
-        match Message::decode(&reply)? {
-            Message::Reply(body) if body.id == expected_id => return Ok(Some(body)),
-            Message::Reply(body) => {
-                return Err(OrbError::Transport(format!(
-                    "reply id {} does not match request id {expected_id}",
-                    body.id
-                )))
-            }
-            _ => return Err(OrbError::Transport("expected a reply frame".into())),
-        }
+        conn.inflight.sub(1);
+        return out;
     }
-    unreachable!("retry loop returns on both paths")
+    Err(last_err.unwrap_or_else(|| OrbError::Transport("tcp invoke failed".into())))
+}
+
+impl MuxConnection {
+    /// Writes one frame, holding the stream lock only for the write —
+    /// the wait for the reply happens off-lock in [`invoke`].
+    fn write_frame_locked(&self, bytes: &[u8]) -> OrbResult<()> {
+        write_frame(&mut self.writer.lock(), bytes)
+    }
 }
 
 #[cfg(test)]
@@ -294,5 +609,72 @@ mod tests {
         let target = crate::ObjRef::new(endpoint, "echo", "Echo");
         let out = client.invoke_ref(&target, "echo", vec![]).unwrap();
         assert_eq!(out, Value::Seq(vec![]));
+    }
+
+    /// Regression for the desync bug: a reply whose id routes nowhere
+    /// must kill *and evict* the connection, so the next caller gets a
+    /// fresh socket instead of someone else's stale reply.
+    #[test]
+    fn mismatched_reply_id_evicts_the_desynchronized_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A misbehaving server: the first connection's first request is
+        // answered with the wrong id; later connections behave.
+        std::thread::spawn(move || {
+            let mut first = true;
+            while let Ok((mut stream, _)) = listener.accept() {
+                let corrupt = first;
+                first = false;
+                while let Ok(Some(body)) = read_frame(&mut stream) {
+                    let Ok(Message::Request(req)) = Message::decode(&body) else {
+                        break;
+                    };
+                    let id = if corrupt { req.id + 1000 } else { req.id };
+                    let reply = Message::Reply(ReplyBody {
+                        id,
+                        outcome: Ok(Value::Long(7)),
+                    })
+                    .encode();
+                    if write_frame(&mut stream, &reply).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let client = Orb::new("t-tcp-desync-client");
+        let target = crate::ObjRef::new(format!("tcp://{addr}"), "echo", "Echo");
+        let err = client.invoke_ref(&target, "echo", vec![]).unwrap_err();
+        assert!(
+            matches!(&err, OrbError::Transport(m) if m.contains("unroutable")
+                || m.contains("connection lost")),
+            "unexpected error: {err}"
+        );
+        // The poisoned connection was evicted: the retry below runs on
+        // a fresh socket and gets its own (correct) reply.
+        let out = client.invoke_ref(&target, "echo", vec![]).unwrap();
+        assert_eq!(out, Value::Long(7));
+    }
+
+    /// Concurrent two-way calls share the one pooled connection and
+    /// pipeline instead of serializing on a per-round-trip lock.
+    #[test]
+    fn concurrent_calls_pipeline_on_one_connection() {
+        let (_server, endpoint) = echo_orb("t-tcp-mux");
+        let client = Orb::new("t-tcp-mux-client");
+        let target = crate::ObjRef::new(endpoint, "echo", "Echo");
+        client.invoke_ref(&target, "echo", vec![]).unwrap(); // warm the pool
+        let mut handles = Vec::new();
+        for i in 0..8i64 {
+            let client = client.clone();
+            let target = target.clone();
+            handles.push(std::thread::spawn(move || {
+                client
+                    .invoke_ref(&target, "echo", vec![Value::from(i)])
+                    .unwrap()
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), Value::Seq(vec![Value::from(i as i64)]));
+        }
     }
 }

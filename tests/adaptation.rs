@@ -328,3 +328,82 @@ fn failing_script_strategy_is_counted_and_does_not_lose_the_request() {
         Some(1)
     );
 }
+
+/// Regression for failover convergence: after a transport-level
+/// failover, the dead target goes on a short-TTL dead list, so a later
+/// `reselect()` (or a second failover) cannot rebind the dead server's
+/// stale trader offer while the TTL runs. Two consecutive failures
+/// converge onto the one live component.
+#[test]
+fn failovers_converge_and_never_rebind_known_dead_targets_within_ttl() {
+    use adapta::idl::TypeCode;
+    use adapta::trading::{ExportRequest, PropDef, PropMode, ServiceTypeDef, Trader};
+
+    let orb = adapta::orb::Orb::new("sp-deadlist");
+    let trader = Trader::new(&orb);
+    trader
+        .add_type(ServiceTypeDef::new("DeadSvc").with_property(PropDef::new(
+            "Rank",
+            TypeCode::Long,
+            PropMode::Normal,
+        )))
+        .unwrap();
+
+    // Two dead servers (closed TCP ports) outrank the one live servant;
+    // their stale offers stay registered, as after a crash.
+    let live = orb
+        .activate(
+            "svc",
+            adapta::orb::ServantFn::new("DeadSvc", |_, _| Ok(Value::from("pong"))),
+        )
+        .unwrap();
+    let dead1 = adapta::orb::ObjRef::new("tcp://127.0.0.1:9", "svc", "DeadSvc");
+    let dead2 = adapta::orb::ObjRef::new("tcp://127.0.0.1:19", "svc", "DeadSvc");
+    for (target, rank) in [(&dead1, 3i64), (&dead2, 2), (&live, 1)] {
+        trader
+            .export(
+                ExportRequest::new("DeadSvc", target.clone())
+                    .with_property("Rank", Value::Long(rank)),
+            )
+            .unwrap();
+    }
+
+    let repo = adapta::idl::InterfaceRepository::new();
+    let proxy = adapta::core::SmartProxy::builder(&orb, &repo, Arc::new(trader), "DeadSvc")
+        .preference("max Rank")
+        .dead_target_ttl(Duration::from_secs(30))
+        .build()
+        .unwrap();
+    assert_eq!(proxy.current_target(), Some(dead1.clone()));
+
+    // First invocation: dead1 fails, failover picks dead2 (next rank),
+    // whose retry fails too — the call errors, but both are now known
+    // dead.
+    assert!(proxy.invoke("ping", vec![]).is_err());
+    assert_eq!(proxy.failovers(), 1);
+
+    // Second invocation: the failover skips BOTH dead targets' stale
+    // offers and converges on the live servant.
+    let reply = proxy.invoke("ping", vec![]).unwrap();
+    assert_eq!(reply, Value::from("pong"));
+    assert_eq!(proxy.current_target(), Some(live.clone()));
+    assert!(
+        proxy.repicks_avoided() >= 1,
+        "dead-list filtering should have skipped stale offers"
+    );
+
+    // An explicit reselect mid-TTL still must not rebind a dead target,
+    // even though the trader ranks them first.
+    assert!(proxy.reselect().unwrap());
+    assert_eq!(proxy.current_target(), Some(live.clone()));
+    let snap = adapta::telemetry::registry().snapshot();
+    assert!(
+        snap.counter("smartproxy.DeadSvc.failover.repicks_avoided")
+            .unwrap_or(0)
+            >= 1
+    );
+
+    // And invocations keep flowing on the live binding.
+    assert_eq!(proxy.invoke("ping", vec![]).unwrap(), Value::from("pong"));
+    assert_eq!(proxy.failovers(), 2);
+}
