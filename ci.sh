@@ -5,8 +5,20 @@
 # 10x the iteration counts and high test-thread parallelism, to shake
 # out transport races that a single quick run can miss. The stress run
 # is advisory (a separate non-blocking CI job), not part of the gate.
+#
+# `./ci.sh --chaos` runs the fault-injection suite (tests/chaos.rs) and
+# the E11 chaos experiment. Also advisory/non-blocking in CI.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--chaos" ]]; then
+    echo "==> chaos: fault injection, recovery policy, graceful shutdown"
+    cargo test -q --test chaos
+    echo "==> chaos: experiment E11"
+    CHAOS_CALLS="${CHAOS_CALLS:-120}" cargo run -q -p adapta-bench --release --bin exp_chaos
+    echo "Chaos run green."
+    exit 0
+fi
 
 if [[ "${1:-}" == "--stress" ]]; then
     echo "==> stress: transport + concurrency tests (STRESS_ITERS=10)"

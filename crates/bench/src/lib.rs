@@ -14,6 +14,7 @@
 //! | `exp_trading_scale` | E5 — trader query scalability |
 //! | `exp_failover` | E9 — component failure and re-selection |
 //! | `exp_concurrency` | E10 — multiplexed TCP transport under concurrent callers |
+//! | `exp_chaos` | E11 — fault injection: retry + circuit breaker under a chaos storm |
 //!
 //! Criterion benches (`cargo bench`): `invocation` (E4), `trading`
 //! (E5 micro), `script` (E8).

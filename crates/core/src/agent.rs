@@ -23,11 +23,13 @@ use crate::Result;
 /// Announces and manages the offers of one or more server components.
 ///
 /// Offers exported through an agent are withdrawn when the agent is
-/// dropped.
+/// dropped — and when the agent's orb [shuts down](Orb::shutdown), so a
+/// gracefully stopping node disappears from the trader before its
+/// transports close.
 pub struct ServiceAgent {
     orb: Orb,
     trader: Arc<dyn TradingService>,
-    offers: Mutex<Vec<OfferId>>,
+    offers: Arc<Mutex<Vec<OfferId>>>,
 }
 
 impl std::fmt::Debug for ServiceAgent {
@@ -42,10 +44,25 @@ impl ServiceAgent {
     /// Creates an agent exporting through `trader` and serving monitors
     /// on `orb`.
     pub fn new(orb: &Orb, trader: Arc<dyn TradingService>) -> Self {
+        let offers = Arc::new(Mutex::new(Vec::new()));
+        // Withdraw this node's offers during graceful shutdown, in the
+        // hook window where outbound invocations (to a remote trader)
+        // still work.
+        let hook_offers = Arc::downgrade(&offers);
+        let hook_trader = trader.clone();
+        orb.on_shutdown(move || {
+            let Some(offers) = hook_offers.upgrade() else {
+                return;
+            };
+            let ids: Vec<OfferId> = std::mem::take(&mut *offers.lock());
+            for id in ids {
+                let _ = hook_trader.withdraw(&id);
+            }
+        });
         ServiceAgent {
             orb: orb.clone(),
             trader,
-            offers: Mutex::new(Vec::new()),
+            offers,
         }
     }
 

@@ -31,6 +31,7 @@ mod error;
 mod infra;
 pub mod interceptors;
 pub mod policies;
+mod resilience;
 pub mod script_env;
 mod script_servant;
 mod smart_proxy;
@@ -39,6 +40,7 @@ pub use agent::ServiceAgent;
 pub use error::CoreError;
 pub use infra::{Infrastructure, ServerHandle, ServerSpec};
 pub use interceptors::AdaptiveRedirect;
+pub use resilience::{Admission, BreakerConfig, BreakerState, CircuitBreakerSet, RetryPolicy};
 pub use script_servant::ScriptServant;
 pub use smart_proxy::{NativeStrategy, SmartProxy, SmartProxyBuilder, Strategy, Subscription};
 

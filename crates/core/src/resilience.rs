@@ -1,0 +1,458 @@
+//! Client-side recovery policy: bounded retries with decorrelated
+//! jitter, and per-target circuit breakers.
+//!
+//! Both plug into [`SmartProxy::invoke`](crate::SmartProxy::invoke),
+//! *ahead of* the existing failover/dead-target logic, and agree with
+//! it on one error taxonomy — [`OrbError::is_retryable`]: only
+//! environmental failures (transport faults, unreachable or draining
+//! nodes, expired deadlines, vanished servants) are ever retried;
+//! application exceptions mean the component is alive and are returned
+//! as-is.
+//!
+//! A [`RetryPolicy`] bounds the attempts of one logical invocation and
+//! spaces them with *decorrelated jitter* — each sleep is drawn
+//! uniformly from `[base, 3 × previous]`, capped — which spreads
+//! synchronized retry storms apart instead of letting every client
+//! hammer a recovering server on the same schedule.
+//!
+//! A [`CircuitBreakerSet`] keeps one closed/open/half-open breaker per
+//! concrete target the proxy has talked to. A breaker opens when the
+//! failure rate over a sliding window of recent outcomes crosses a
+//! threshold; while open, calls to that target are refused up front
+//! (the proxy fails over instead of queueing on a corpse); after a
+//! cool-down one *probe* call is admitted half-open — success closes
+//! the breaker, failure re-opens it. Transitions are published under
+//! the `proxy.<type>.breaker.*` metric family.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use adapta_orb::ObjRef;
+use adapta_telemetry::registry;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[cfg(doc)]
+use adapta_orb::OrbError;
+
+/// Bounds and paces the attempts of one logical invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Lower bound of every backoff sleep; zero disables sleeping.
+    pub base: Duration,
+    /// Upper bound of every backoff sleep.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// `max_attempts` attempts with a 10 ms base and a 1 s cap.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+        }
+    }
+
+    /// The legacy smart-proxy behaviour: one immediate failover retry,
+    /// no backoff. This is the default policy of every proxy.
+    pub fn failover_only() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// Sets the backoff base (the minimum sleep between attempts).
+    #[must_use]
+    pub fn base(mut self, base: Duration) -> RetryPolicy {
+        self.base = base;
+        self
+    }
+
+    /// Sets the backoff cap (the maximum sleep between attempts).
+    #[must_use]
+    pub fn cap(mut self, cap: Duration) -> RetryPolicy {
+        self.cap = cap;
+        self
+    }
+
+    /// A fresh backoff sequence for one logical invocation.
+    pub(crate) fn backoff(&self) -> Backoff {
+        Backoff {
+            base: self.base,
+            cap: self.cap,
+            prev: self.base,
+            rng: StdRng::seed_from_u64(0x6A69_7474_6572), // "jitter"
+        }
+    }
+}
+
+/// One invocation's decorrelated-jitter state: each delay is uniform in
+/// `[base, 3 × previous]`, capped — successive delays grow but stay
+/// de-synchronized across callers.
+pub(crate) struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: StdRng,
+}
+
+impl Backoff {
+    pub(crate) fn next_delay(&mut self) -> Duration {
+        if self.base.is_zero() || self.cap.is_zero() {
+            return Duration::ZERO;
+        }
+        let lo = self.base.as_secs_f64();
+        let hi = (self.prev.as_secs_f64() * 3.0).max(lo * 1.000_001);
+        let delay = Duration::from_secs_f64(self.rng.gen_range(lo..hi)).min(self.cap);
+        self.prev = delay;
+        delay
+    }
+}
+
+/// Circuit-breaker tuning. The defaults are deliberately small-window:
+/// middleware targets see few calls between adaptations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window length (outcomes per target).
+    pub window: usize,
+    /// Minimum outcomes in the window before the failure rate counts.
+    pub min_calls: usize,
+    /// Failure rate in `[0, 1]` at which the breaker opens.
+    pub failure_threshold: f64,
+    /// How long an open breaker refuses calls before probing half-open.
+    pub open_for: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_calls: 4,
+            failure_threshold: 0.5,
+            open_for: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Breaker states, in the classic closed → open → half-open cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; outcomes are recorded in the sliding window.
+    Closed,
+    /// Calls are refused up front until the cool-down elapses.
+    Open,
+    /// The cool-down elapsed; exactly one probe call is in flight.
+    HalfOpen,
+}
+
+/// The verdict of [`CircuitBreakerSet::admit`] for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed breaker: proceed normally.
+    Allow,
+    /// Half-open breaker: proceed as *the* probe — the outcome decides
+    /// whether the breaker closes or re-opens.
+    Probe,
+    /// Open breaker (or a probe is already in flight): do not call this
+    /// target now; fail over or back off.
+    Reject,
+}
+
+struct TargetBreaker {
+    state: BreakerState,
+    /// Sliding window of outcomes, `true` = failure.
+    outcomes: VecDeque<bool>,
+    opened_at: Instant,
+    /// Whether the half-open probe slot is taken.
+    probing: bool,
+}
+
+impl TargetBreaker {
+    fn new() -> TargetBreaker {
+        TargetBreaker {
+            state: BreakerState::Closed,
+            outcomes: VecDeque::new(),
+            opened_at: Instant::now(),
+            probing: false,
+        }
+    }
+
+    fn record(&mut self, failure: bool, window: usize) {
+        self.outcomes.push_back(failure);
+        while self.outcomes.len() > window {
+            self.outcomes.pop_front();
+        }
+    }
+
+    fn failure_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|f| **f).count() as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// One breaker per concrete target, owned by a smart proxy (so the
+/// window reflects that proxy's own traffic). Keyed by target URI.
+pub struct CircuitBreakerSet {
+    config: BreakerConfig,
+    targets: Mutex<HashMap<String, TargetBreaker>>,
+    /// `proxy.<type>.breaker` — the metric family's prefix.
+    prefix: String,
+}
+
+impl CircuitBreakerSet {
+    /// A breaker set for the proxy of `service_type`.
+    pub fn new(config: BreakerConfig, service_type: &str) -> CircuitBreakerSet {
+        CircuitBreakerSet {
+            config,
+            targets: Mutex::new(HashMap::new()),
+            prefix: format!("proxy.{service_type}.breaker"),
+        }
+    }
+
+    fn count(&self, transition: &str) {
+        registry()
+            .counter(&format!("{}.{transition}", self.prefix))
+            .incr();
+    }
+
+    /// Publishes how many targets currently sit in a non-closed state.
+    fn publish_open_gauge(&self, targets: &HashMap<String, TargetBreaker>) {
+        let open = targets
+            .values()
+            .filter(|b| b.state != BreakerState::Closed)
+            .count();
+        registry()
+            .gauge(&format!("{}.open_targets", self.prefix))
+            .set(open as i64);
+    }
+
+    /// Asks whether a call to `target` may proceed right now.
+    pub fn admit(&self, target: &ObjRef) -> Admission {
+        let mut targets = self.targets.lock();
+        let breaker = targets
+            .entry(target.to_uri())
+            .or_insert_with(TargetBreaker::new);
+        match breaker.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                if breaker.opened_at.elapsed() >= self.config.open_for {
+                    breaker.state = BreakerState::HalfOpen;
+                    breaker.probing = true;
+                    self.count("half_open");
+                    Admission::Probe
+                } else {
+                    self.count("rejected");
+                    Admission::Reject
+                }
+            }
+            BreakerState::HalfOpen => {
+                if breaker.probing {
+                    self.count("rejected");
+                    Admission::Reject
+                } else {
+                    breaker.probing = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Records a call that reached the target and got an answer (any
+    /// answer — an application exception still proves liveness).
+    pub fn on_success(&self, target: &ObjRef) {
+        let mut targets = self.targets.lock();
+        let Some(breaker) = targets.get_mut(&target.to_uri()) else {
+            return;
+        };
+        match breaker.state {
+            BreakerState::HalfOpen => {
+                breaker.state = BreakerState::Closed;
+                breaker.outcomes.clear();
+                breaker.probing = false;
+                self.count("closed");
+                self.publish_open_gauge(&targets);
+            }
+            _ => breaker.record(false, self.config.window),
+        }
+    }
+
+    /// Records a retryable failure against the target.
+    pub fn on_failure(&self, target: &ObjRef) {
+        let mut targets = self.targets.lock();
+        let Some(breaker) = targets.get_mut(&target.to_uri()) else {
+            return;
+        };
+        match breaker.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: back to open, restart the cool-down.
+                breaker.state = BreakerState::Open;
+                breaker.opened_at = Instant::now();
+                breaker.probing = false;
+                self.count("opened");
+                self.publish_open_gauge(&targets);
+            }
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                breaker.record(true, self.config.window);
+                if breaker.outcomes.len() >= self.config.min_calls
+                    && breaker.failure_rate() >= self.config.failure_threshold
+                {
+                    breaker.state = BreakerState::Open;
+                    breaker.opened_at = Instant::now();
+                    self.count("opened");
+                    self.publish_open_gauge(&targets);
+                }
+            }
+        }
+    }
+
+    /// The current state of the breaker for `target` (Closed when the
+    /// target was never called).
+    pub fn state(&self, target: &ObjRef) -> BreakerState {
+        self.targets
+            .lock()
+            .get(&target.to_uri())
+            .map_or(BreakerState::Closed, |b| b.state)
+    }
+}
+
+impl std::fmt::Debug for CircuitBreakerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreakerSet")
+            .field("config", &self.config)
+            .field("targets", &self.targets.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(n: u16) -> ObjRef {
+        ObjRef::new(format!("tcp://127.0.0.1:{n}"), "svc", "T")
+    }
+
+    #[test]
+    fn failover_only_policy_never_sleeps() {
+        let policy = RetryPolicy::failover_only();
+        let mut backoff = policy.backoff();
+        assert_eq!(backoff.next_delay(), Duration::ZERO);
+        assert_eq!(backoff.next_delay(), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_grows_within_bounds() {
+        let policy = RetryPolicy::new(10)
+            .base(Duration::from_millis(10))
+            .cap(Duration::from_millis(200));
+        let mut backoff = policy.backoff();
+        let mut prev = Duration::from_millis(10);
+        for _ in 0..20 {
+            let d = backoff.next_delay();
+            assert!(d >= policy.base, "delay {d:?} under base");
+            assert!(d <= policy.cap, "delay {d:?} over cap");
+            // decorrelated: bounded by 3x the previous delay
+            assert!(d <= (prev * 3).max(policy.base) + Duration::from_micros(1));
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn breaker_opens_at_failure_threshold() {
+        let set = CircuitBreakerSet::new(
+            BreakerConfig {
+                window: 4,
+                min_calls: 4,
+                failure_threshold: 0.5,
+                open_for: Duration::from_millis(50),
+            },
+            "T",
+        );
+        let t = target(1);
+        assert_eq!(set.admit(&t), Admission::Allow);
+        set.on_failure(&t);
+        set.on_success(&t);
+        set.on_failure(&t);
+        assert_eq!(set.state(&t), BreakerState::Closed); // 2/3 but < min_calls
+        set.on_failure(&t); // 3 failures / 4 outcomes
+        assert_eq!(set.state(&t), BreakerState::Open);
+        assert_eq!(set.admit(&t), Admission::Reject);
+    }
+
+    #[test]
+    fn breaker_half_opens_then_closes_on_probe_success() {
+        let set = CircuitBreakerSet::new(
+            BreakerConfig {
+                window: 2,
+                min_calls: 2,
+                failure_threshold: 0.5,
+                open_for: Duration::from_millis(10),
+            },
+            "T",
+        );
+        let t = target(2);
+        set.admit(&t);
+        set.on_failure(&t);
+        set.on_failure(&t);
+        assert_eq!(set.state(&t), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(set.admit(&t), Admission::Probe);
+        assert_eq!(set.state(&t), BreakerState::HalfOpen);
+        // A second caller during the probe is still rejected.
+        assert_eq!(set.admit(&t), Admission::Reject);
+        set.on_success(&t);
+        assert_eq!(set.state(&t), BreakerState::Closed);
+        assert_eq!(set.admit(&t), Admission::Allow);
+    }
+
+    #[test]
+    fn breaker_reopens_on_probe_failure() {
+        let set = CircuitBreakerSet::new(
+            BreakerConfig {
+                window: 2,
+                min_calls: 2,
+                failure_threshold: 0.5,
+                open_for: Duration::from_millis(10),
+            },
+            "T",
+        );
+        let t = target(3);
+        set.admit(&t);
+        set.on_failure(&t);
+        set.on_failure(&t);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(set.admit(&t), Admission::Probe);
+        set.on_failure(&t);
+        assert_eq!(set.state(&t), BreakerState::Open);
+        assert_eq!(set.admit(&t), Admission::Reject);
+    }
+
+    #[test]
+    fn breakers_are_per_target() {
+        let set = CircuitBreakerSet::new(
+            BreakerConfig {
+                window: 2,
+                min_calls: 2,
+                failure_threshold: 0.5,
+                open_for: Duration::from_secs(10),
+            },
+            "T",
+        );
+        let (a, b) = (target(4), target(5));
+        set.admit(&a);
+        set.admit(&b);
+        set.on_failure(&a);
+        set.on_failure(&a);
+        assert_eq!(set.state(&a), BreakerState::Open);
+        assert_eq!(set.admit(&b), Admission::Allow);
+    }
+}

@@ -24,6 +24,7 @@ use adapta_trading::{OfferMatch, Query, TradingService};
 use parking_lot::Mutex;
 
 use crate::error::CoreError;
+use crate::resilience::{Admission, BreakerConfig, CircuitBreakerSet, RetryPolicy};
 use crate::script_env;
 use crate::Result;
 
@@ -104,6 +105,8 @@ struct SpInner {
     immediate_handling: bool,
     call_deadline: Option<Duration>,
     dead_target_ttl: Duration,
+    retry: RetryPolicy,
+    breakers: Option<CircuitBreakerSet>,
     subscriptions: Vec<Subscription>,
     strategies: Mutex<HashMap<String, Strategy>>,
     binding: Mutex<Option<Binding>>,
@@ -122,6 +125,7 @@ struct SpInner {
     events_received: AtomicU64,
     events_handled: AtomicU64,
     failovers: AtomicU64,
+    retries: AtomicU64,
     repicks_avoided: AtomicU64,
 }
 
@@ -188,6 +192,8 @@ pub struct SmartProxyBuilder {
     lazy: bool,
     call_deadline: Option<Duration>,
     dead_target_ttl: Duration,
+    retry: RetryPolicy,
+    breaker: Option<BreakerConfig>,
     subscriptions: Vec<Subscription>,
     native_strategies: Vec<(String, Strategy)>,
     script_strategies: Vec<(String, String)>,
@@ -242,6 +248,24 @@ impl SmartProxyBuilder {
         self
     }
 
+    /// Sets the retry policy for retryable failures (see
+    /// [`RetryPolicy`]). Defaults to [`RetryPolicy::failover_only`]:
+    /// one immediate failover retry, no backoff — the proxy's
+    /// historical behaviour.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Enables a per-target circuit breaker (see [`BreakerConfig`]).
+    /// Off by default. An open breaker makes the proxy fail over (or
+    /// back off) instead of calling a target that keeps failing;
+    /// transitions are published under `proxy.<type>.breaker.*`.
+    pub fn circuit_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
     /// Adds a monitor subscription (re-established on every rebind).
     pub fn subscribe(mut self, subscription: Subscription) -> Self {
         self.subscriptions.push(subscription);
@@ -273,6 +297,9 @@ impl SmartProxyBuilder {
     /// Trading/broker errors, script compilation errors, or
     /// [`CoreError::NoSuitableOffer`] when nothing is available.
     pub fn build(self) -> Result<SmartProxy> {
+        let breakers = self
+            .breaker
+            .map(|config| CircuitBreakerSet::new(config, &self.service_type));
         let inner = Arc::new(SpInner {
             orb: self.orb,
             repo: self.repo,
@@ -284,6 +311,8 @@ impl SmartProxyBuilder {
             immediate_handling: self.immediate_handling,
             call_deadline: self.call_deadline,
             dead_target_ttl: self.dead_target_ttl,
+            retry: self.retry,
+            breakers,
             subscriptions: self.subscriptions,
             strategies: Mutex::new(HashMap::new()),
             binding: Mutex::new(None),
@@ -298,6 +327,7 @@ impl SmartProxyBuilder {
             events_received: AtomicU64::new(0),
             events_handled: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             repicks_avoided: AtomicU64::new(0),
         });
         let proxy = SmartProxy { inner };
@@ -376,6 +406,8 @@ impl SmartProxy {
             lazy: false,
             call_deadline: None,
             dead_target_ttl: DEFAULT_DEAD_TARGET_TTL,
+            retry: RetryPolicy::failover_only(),
+            breaker: None,
             subscriptions: Vec::new(),
             native_strategies: Vec::new(),
             script_strategies: Vec::new(),
@@ -432,8 +464,24 @@ impl SmartProxy {
     }
 
     /// Invocation-time failovers after a component failure.
+    ///
+    /// Counts *failing invocations* (once per `invoke` that hit at
+    /// least one retryable failure), not individual retry attempts —
+    /// see [`retries`](Self::retries) for those.
     pub fn failovers(&self) -> u64 {
         self.inner.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Extra attempts made after retryable failures (per attempt, where
+    /// [`failovers`](Self::failovers) counts per invocation).
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
+    }
+
+    /// The circuit-breaker state for `target`, when a breaker is
+    /// configured (see [`SmartProxyBuilder::circuit_breaker`]).
+    pub fn breaker_state(&self, target: &ObjRef) -> Option<crate::resilience::BreakerState> {
+        self.inner.breakers.as_ref().map(|b| b.state(target))
     }
 
     /// Stale offers of known-dead targets skipped during re-selection
@@ -773,56 +821,152 @@ impl SmartProxy {
 
     /// Invokes an operation on the represented service.
     ///
-    /// Queued events are handled first (postponed handling); if the
-    /// bound component fails at the transport level, the proxy rebinds
-    /// and retries once.
+    /// Queued events are handled first (postponed handling). Retryable
+    /// failures ([`OrbError::is_retryable`]) drive the recovery policy:
+    /// the proxy marks the target dead, fails over to an alternative
+    /// offer when one exists (retrying the *same* target otherwise —
+    /// it may heal), sleeps the [`RetryPolicy`]'s decorrelated-jitter
+    /// backoff, and tries again up to `max_attempts`. A configured
+    /// [circuit breaker](SmartProxyBuilder::circuit_breaker) is
+    /// consulted before every attempt, so a target that keeps failing
+    /// is refused up front instead of being called into a black hole.
+    /// The proxy's [`call_deadline`](SmartProxyBuilder::call_deadline)
+    /// bounds the *whole* invocation — attempts and backoff sleeps
+    /// together — not each attempt separately.
+    ///
+    /// Application-level errors are returned immediately: the component
+    /// answered, so retrying would re-run a possibly non-idempotent
+    /// operation for nothing.
     ///
     /// # Errors
     ///
     /// [`CoreError::Unbound`] when no component can be selected;
-    /// otherwise broker/servant errors.
+    /// otherwise broker/servant errors (the last attempt's, when
+    /// retries are exhausted).
     pub fn invoke(&self, op: &str, args: Vec<Value>) -> Result<Value> {
         self.inner.invocations.fetch_add(1, Ordering::Relaxed);
         self.handle_pending_events();
-        let target = self.ensure_bound()?;
-        match self.invoke_transport(&target, op, args.clone()) {
-            Ok(v) => Ok(v),
-            Err(e) if is_connectivity_error(&e) => {
-                self.inner.failovers.fetch_add(1, Ordering::Relaxed);
-                registry().counter(&self.inner.metric("failovers")).incr();
-                self.inner.note_dead(&target);
-                self.unbind();
-                if !self.select_excluding(&self.inner.constraint.clone(), true, Some(&target))? {
-                    return Err(CoreError::Unbound(format!(
-                        "component failed and no replacement for `{}`: {e}",
-                        self.inner.service_type
-                    )));
-                }
-                let target = self
-                    .current_target()
-                    .expect("select_excluding bound a component");
-                match self.invoke_transport(&target, op, args) {
-                    Ok(v) => Ok(v),
-                    Err(e) => {
-                        // The replacement failed too: remember it, so
-                        // the next invocation converges on a live
-                        // target instead of re-trying known-dead ones.
-                        if is_connectivity_error(&e) {
-                            self.inner.note_dead(&target);
-                        }
-                        Err(e.into())
-                    }
+        let overall = self.inner.call_deadline.map(|d| (d, Instant::now() + d));
+        let mut backoff = self.inner.retry.backoff();
+        let max_attempts = self.inner.retry.max_attempts.max(1);
+        let mut counted_failover = false;
+        let mut last_err: Option<CoreError> = None;
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                self.inner.retries.fetch_add(1, Ordering::Relaxed);
+                registry().counter(&self.inner.metric("retries")).incr();
+            }
+            if let Some((budget, end)) = overall {
+                if Instant::now() >= end {
+                    return Err(last_err
+                        .unwrap_or_else(|| OrbError::DeadlineExpired { after: budget }.into()));
                 }
             }
-            Err(e) => Err(e.into()),
+            let target = self.ensure_bound()?;
+            if let Some(breakers) = &self.inner.breakers {
+                if breakers.admit(&target) == Admission::Reject {
+                    last_err = Some(CoreError::Orb(OrbError::Transport(format!(
+                        "circuit open for `{}`",
+                        target.to_uri()
+                    ))));
+                    // Prefer a different component while this one cools
+                    // down; with nowhere to go, wait out the backoff —
+                    // the breaker will eventually admit a probe.
+                    let moved =
+                        self.select_excluding(&self.inner.constraint.clone(), true, Some(&target))?
+                            && self.current_target().is_some_and(|t| t != target);
+                    if !moved {
+                        self.sleep_backoff(&mut backoff, overall);
+                    }
+                    continue;
+                }
+            }
+            match self.invoke_transport(&target, op, args.clone(), overall) {
+                Ok(v) => {
+                    if let Some(breakers) = &self.inner.breakers {
+                        breakers.on_success(&target);
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_retryable() => {
+                    if let Some(breakers) = &self.inner.breakers {
+                        breakers.on_failure(&target);
+                    }
+                    if !counted_failover {
+                        // Counted once per invocation, not per attempt:
+                        // `failovers()` means "invocations that hit a
+                        // failure", matching its historical semantics.
+                        counted_failover = true;
+                        self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+                        registry().counter(&self.inner.metric("failovers")).incr();
+                    }
+                    self.inner.note_dead(&target);
+                    last_err = Some(e.into());
+                    if attempt == max_attempts {
+                        break;
+                    }
+                    // Fail over to an alternative offer when one exists;
+                    // `bind` replaces the binding, so when nothing else
+                    // matches the proxy stays bound to the failed target
+                    // and the next attempt retries it (it may heal).
+                    let _ =
+                        self.select_excluding(&self.inner.constraint.clone(), true, Some(&target))?;
+                    self.sleep_backoff(&mut backoff, overall);
+                }
+                Err(e) => {
+                    // The component answered (application error): it is
+                    // alive as far as the breaker is concerned.
+                    if let Some(breakers) = &self.inner.breakers {
+                        breakers.on_success(&target);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            CoreError::Unbound(format!(
+                "retries exhausted for `{}`",
+                self.inner.service_type
+            ))
+        }))
+    }
+
+    /// Sleeps the next backoff delay, clipped to the remaining overall
+    /// deadline budget (so a retried call can never overshoot it).
+    fn sleep_backoff(
+        &self,
+        backoff: &mut crate::resilience::Backoff,
+        overall: Option<(Duration, Instant)>,
+    ) {
+        let mut delay = backoff.next_delay();
+        if let Some((_, end)) = overall {
+            delay = delay.min(end.saturating_duration_since(Instant::now()));
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
         }
     }
 
     /// One two-way invocation with this proxy's per-call deadline (if
-    /// configured): a hung server fails fast and triggers failover.
-    fn invoke_transport(&self, target: &ObjRef, op: &str, args: Vec<Value>) -> OrbResult<Value> {
-        let opts = match self.inner.call_deadline {
-            Some(d) => InvokeOptions::new().deadline(d),
+    /// configured): a hung server fails fast and triggers failover. The
+    /// transport deadline is the *remaining* overall budget, so retries
+    /// honor the invocation's `call_deadline` instead of resetting it
+    /// per attempt.
+    fn invoke_transport(
+        &self,
+        target: &ObjRef,
+        op: &str,
+        args: Vec<Value>,
+        overall: Option<(Duration, Instant)>,
+    ) -> OrbResult<Value> {
+        let opts = match overall {
+            Some((budget, end)) => {
+                let remaining = end.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(OrbError::DeadlineExpired { after: budget });
+                }
+                InvokeOptions::new().deadline(remaining)
+            }
             None => InvokeOptions::default(),
         };
         self.inner.orb.invoke_ref_with(target, op, args, opts)
@@ -855,16 +999,6 @@ impl SmartProxy {
             self.inner.service_type
         )))
     }
-}
-
-fn is_connectivity_error(e: &OrbError) -> bool {
-    matches!(
-        e,
-        OrbError::Transport(_)
-            | OrbError::NodeUnreachable { .. }
-            | OrbError::ObjectNotFound { .. }
-            | OrbError::DeadlineExpired { .. }
-    )
 }
 
 // ---- script facade ---------------------------------------------------------

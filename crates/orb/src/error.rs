@@ -40,6 +40,12 @@ pub enum OrbError {
         /// The unresolved name.
         name: String,
     },
+    /// The broker is draining and no longer accepts requests. Raised on
+    /// callers blocked against a node that entered [`Orb::shutdown`]; the
+    /// call never started executing, so retrying elsewhere is safe.
+    ///
+    /// [`Orb::shutdown`]: crate::Orb::shutdown
+    ShuttingDown,
 }
 
 impl OrbError {
@@ -56,6 +62,30 @@ impl OrbError {
         OrbError::RemoteException {
             message: message.into(),
         }
+    }
+
+    /// Whether a failed call may be safely reissued (to the same target
+    /// or another one). Retry, circuit breaking, and smart-proxy failover
+    /// all consult this one taxonomy:
+    ///
+    /// * **retryable** — the failure is environmental and at-most-once
+    ///   delivery was not compromised in a way the caller can detect:
+    ///   transport faults, unreachable nodes, missing servants (the
+    ///   component moved or crashed), expired deadlines, and nodes that
+    ///   refused the request because they are shutting down;
+    /// * **not retryable** — the request itself is bad (IDL or
+    ///   marshalling errors, unresolved names) or the servant *executed*
+    ///   and raised an application exception: reissuing would either fail
+    ///   identically or run a non-idempotent operation twice.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            OrbError::Transport(_)
+                | OrbError::NodeUnreachable { .. }
+                | OrbError::ObjectNotFound { .. }
+                | OrbError::DeadlineExpired { .. }
+                | OrbError::ShuttingDown
+        )
     }
 }
 
@@ -76,6 +106,7 @@ impl fmt::Display for OrbError {
                 write!(f, "remote exception: {message}")
             }
             OrbError::NameNotFound { name } => write!(f, "name `{name}` not bound"),
+            OrbError::ShuttingDown => write!(f, "orb is shutting down"),
         }
     }
 }
@@ -110,6 +141,26 @@ mod tests {
         assert!(OrbError::unknown_operation("I", "op")
             .to_string()
             .contains("op"));
+    }
+
+    #[test]
+    fn retryability_taxonomy() {
+        assert!(OrbError::Transport("broken pipe".into()).is_retryable());
+        assert!(OrbError::NodeUnreachable {
+            endpoint: "tcp://x:1".into()
+        }
+        .is_retryable());
+        assert!(OrbError::ObjectNotFound { key: "k".into() }.is_retryable());
+        assert!(OrbError::DeadlineExpired {
+            after: std::time::Duration::from_millis(5)
+        }
+        .is_retryable());
+        assert!(OrbError::ShuttingDown.is_retryable());
+
+        assert!(!OrbError::exception("app failed").is_retryable());
+        assert!(!OrbError::Marshal("bad tag".into()).is_retryable());
+        assert!(!OrbError::NameNotFound { name: "n".into() }.is_retryable());
+        assert!(!OrbError::unknown_operation("I", "op").is_retryable());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 
 mod adapter;
 mod error;
+mod fault;
 pub mod interceptor;
 mod marshal;
 mod message;
@@ -63,6 +64,7 @@ pub mod transport;
 
 pub use adapter::{ObjectAdapter, Servant, ServantFn};
 pub use error::OrbError;
+pub use fault::{FaultAction, FaultPlan, FaultRule, FaultServant};
 pub use interceptor::{
     ClientAction, ClientInterceptor, ClientInterceptorFn, ClientRequestInfo, ServerAction,
     ServerInterceptor, ServerInterceptorFn, ServerRequestInfo, TimingObserver,

@@ -1,8 +1,9 @@
 //! The broker facade: node registry, invocation routing and statistics.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex as StdMutex, OnceLock, Weak};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
 
 use adapta_idl::Value;
 use adapta_telemetry::{registry, Counter, Span, SpanId, TraceId, SPAN_ID_KEY, TRACE_ID_KEY};
@@ -11,6 +12,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::adapter::{ObjectAdapter, Servant};
 use crate::error::OrbError;
+use crate::fault::{FaultAction, FaultPlan, FaultServant};
 use crate::interceptor::{
     ClientAction, ClientInterceptor, ClientRequestInfo, ServerAction, ServerInterceptor,
     ServerRequestInfo,
@@ -151,6 +153,38 @@ impl InvokeOptions {
     }
 }
 
+/// The node's lifecycle, driving [`Orb::shutdown`].
+///
+/// `RUNNING → DRAINING → STOPPED`, one way only. DRAINING refuses new
+/// *inbound* dispatches (callers get a retryable
+/// [`OrbError::ShuttingDown`]) while accepted ones finish and outbound
+/// invocations still work — so shutdown hooks can withdraw trader
+/// offers. STOPPED additionally refuses outbound routing and tears
+/// down pooled connections, waking any caller still blocked on a reply.
+#[derive(Debug)]
+struct Lifecycle {
+    state: AtomicU8,
+    /// Dispatches accepted and not yet fully replied.
+    inflight: AtomicU64,
+    drain_lock: StdMutex<()>,
+    drained: Condvar,
+}
+
+const LIFECYCLE_RUNNING: u8 = 0;
+const LIFECYCLE_DRAINING: u8 = 1;
+const LIFECYCLE_STOPPED: u8 = 2;
+
+impl Lifecycle {
+    fn new() -> Lifecycle {
+        Lifecycle {
+            state: AtomicU8::new(LIFECYCLE_RUNNING),
+            inflight: AtomicU64::new(0),
+            drain_lock: StdMutex::new(()),
+            drained: Condvar::new(),
+        }
+    }
+}
+
 pub(crate) struct OrbCore {
     pub(crate) node: String,
     pub(crate) adapter: ObjectAdapter,
@@ -162,6 +196,9 @@ pub(crate) struct OrbCore {
     pub(crate) tcp_pool: Mutex<HashMap<String, Arc<transport::tcp::MuxConnection>>>,
     client_interceptors: RwLock<Vec<Arc<dyn ClientInterceptor>>>,
     server_interceptors: RwLock<Vec<Arc<dyn ServerInterceptor>>>,
+    faults: Arc<FaultPlan>,
+    lifecycle: Lifecycle,
+    shutdown_hooks: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
 }
 
 impl std::fmt::Debug for OrbCore {
@@ -174,6 +211,71 @@ impl std::fmt::Debug for OrbCore {
 }
 
 impl OrbCore {
+    /// Admits one inbound dispatch. Returns `false` (after undoing the
+    /// reservation) when the node no longer accepts requests; the
+    /// transport must then answer with [`OrbError::ShuttingDown`].
+    ///
+    /// The count is raised *before* re-checking the state so a
+    /// concurrent [`Orb::shutdown`] either sees this dispatch in the
+    /// inflight count or this dispatch sees the drained state — never
+    /// neither.
+    pub(crate) fn begin_dispatch(&self) -> bool {
+        self.lifecycle.inflight.fetch_add(1, Ordering::AcqRel);
+        if self.lifecycle.state.load(Ordering::Acquire) != LIFECYCLE_RUNNING {
+            self.end_dispatch();
+            return false;
+        }
+        true
+    }
+
+    /// Retires one dispatch admitted by [`begin_dispatch`]; called only
+    /// after its reply (if any) has been flushed to the transport.
+    ///
+    /// [`begin_dispatch`]: Self::begin_dispatch
+    pub(crate) fn end_dispatch(&self) {
+        if self.lifecycle.inflight.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self
+                .lifecycle
+                .drain_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.lifecycle.drained.notify_all();
+        }
+    }
+
+    pub(crate) fn is_running(&self) -> bool {
+        self.lifecycle.state.load(Ordering::Acquire) == LIFECYCLE_RUNNING
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.lifecycle.state.load(Ordering::Acquire) == LIFECYCLE_STOPPED
+    }
+
+    /// Blocks until the inflight count reaches zero or `deadline`
+    /// elapses; returns whether the node fully drained.
+    fn wait_drained(&self, deadline: Duration) -> bool {
+        let started = Instant::now();
+        let mut guard = self
+            .lifecycle
+            .drain_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while self.lifecycle.inflight.load(Ordering::Acquire) > 0 {
+            let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
+                return false;
+            };
+            // Short waits guard against a notify racing the count check.
+            let wait = remaining.min(Duration::from_millis(25));
+            let (g, _) = self
+                .lifecycle
+                .drained
+                .wait_timeout(guard, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+        true
+    }
+
     pub(crate) fn count_bytes_in(&self, n: usize) {
         self.stats.bytes_received.add(n as u64);
     }
@@ -270,10 +372,17 @@ impl OrbCore {
         }
     }
 
-    /// Enqueues a oneway request for asynchronous local execution.
+    /// Enqueues a oneway request for asynchronous local execution. A
+    /// draining node silently discards it (oneways are fire-and-forget);
+    /// accepted ones count as in-flight until served, so
+    /// [`Orb::shutdown`] drains the oneway queue too.
     fn enqueue_oneway(self: &Arc<Self>, body: RequestBody) {
+        if !self.begin_dispatch() {
+            return;
+        }
         if self.sync_oneway.load(Ordering::Relaxed) {
             let _ = self.serve(body);
+            self.end_dispatch();
             return;
         }
         let mut guard = self.oneway_tx.lock();
@@ -286,6 +395,7 @@ impl OrbCore {
                     while let Ok(body) = rx.recv() {
                         let Some(core) = weak.upgrade() else { break };
                         let _ = core.serve(body);
+                        core.end_dispatch();
                     }
                 })
                 .expect("spawn oneway executor");
@@ -333,6 +443,9 @@ impl Orb {
             tcp_pool: Mutex::new(HashMap::new()),
             client_interceptors: RwLock::new(Vec::new()),
             server_interceptors: RwLock::new(Vec::new()),
+            faults: Arc::new(FaultPlan::for_node(&name)),
+            lifecycle: Lifecycle::new(),
+            shutdown_hooks: Mutex::new(Vec::new()),
         });
         registry.insert(name, Arc::downgrade(&core));
         drop(registry);
@@ -348,6 +461,15 @@ impl Orb {
             .adapter
             .activate("_telemetry", Arc::new(TelemetryServant::new()))
             .expect("telemetry servant on fresh adapter");
+        // ... and a fault-injection object so chaos plans can be
+        // scripted remotely over the broker itself.
+        orb.core
+            .adapter
+            .activate(
+                "_faults",
+                Arc::new(FaultServant::new(orb.core.faults.clone())),
+            )
+            .expect("fault servant on fresh adapter");
         orb
     }
 
@@ -384,6 +506,77 @@ impl Orb {
     /// the caller's thread — used by deterministic tests and simulations.
     pub fn set_synchronous_oneway(&self, on: bool) {
         self.core.sync_oneway.store(on, Ordering::Relaxed);
+    }
+
+    // ---- chaos and lifecycle ------------------------------------------
+
+    /// This node's fault-injection plan (see [`FaultPlan`]). Empty by
+    /// default; rules added here (or remotely via the node's `_faults`
+    /// object) apply to every *outgoing* message of this node, on both
+    /// the in-process and the TCP transport.
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        self.core.faults.clone()
+    }
+
+    /// Registers a hook that runs during [`shutdown`](Self::shutdown),
+    /// after in-flight dispatches drain but while outbound invocations
+    /// still work — the slot where a node withdraws its trader offers.
+    pub fn on_shutdown(&self, hook: impl FnOnce() + Send + 'static) {
+        self.core.shutdown_hooks.lock().push(Box::new(hook));
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        !self.core.is_running()
+    }
+
+    /// Gracefully shuts the node down:
+    ///
+    /// 1. stops accepting — the TCP accept loop exits and new inbound
+    ///    dispatches (TCP or in-process) are refused with a retryable
+    ///    [`OrbError::ShuttingDown`], waking blocked callers;
+    /// 2. drains — waits up to `deadline` for every accepted dispatch
+    ///    (including queued oneways) to finish and flush its reply;
+    /// 3. runs [`on_shutdown`](Self::on_shutdown) hooks while outbound
+    ///    invocations still work, so offers can be withdrawn from
+    ///    remote traders;
+    /// 4. stops routing — outgoing invocations fail with
+    ///    [`OrbError::ShuttingDown`] and pooled client connections are
+    ///    torn down, waking any caller still awaiting a reply.
+    ///
+    /// Returns whether the node fully drained within `deadline`. Safe
+    /// to call more than once; must not be called from a servant of
+    /// this same node (the drain would wait on its own caller).
+    pub fn shutdown(&self, deadline: Duration) -> bool {
+        let lifecycle = &self.core.lifecycle;
+        if lifecycle
+            .state
+            .compare_exchange(
+                LIFECYCLE_RUNNING,
+                LIFECYCLE_DRAINING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+            && self.core.is_stopped()
+        {
+            return true;
+        }
+        let drained = self.core.wait_drained(deadline);
+        let hooks = std::mem::take(&mut *self.core.shutdown_hooks.lock());
+        for hook in hooks {
+            hook();
+        }
+        lifecycle.state.store(LIFECYCLE_STOPPED, Ordering::Release);
+        // Tear down pooled client connections: their reader threads exit
+        // and every local caller still blocked on a reply is woken with
+        // a retryable error.
+        let pool: Vec<_> = self.core.tcp_pool.lock().drain().collect();
+        for (_, conn) in pool {
+            conn.kill("orb is shutting down");
+        }
+        *self.core.tcp_addr.write() = None;
+        drained
     }
 
     /// Starts a TCP listener; returns the full endpoint (`tcp://…`).
@@ -712,6 +905,9 @@ impl Orb {
                 };
             }
         }
+        if message.starts_with("orb is shutting down") {
+            return OrbError::ShuttingDown;
+        }
         OrbError::RemoteException { message }
     }
 
@@ -724,6 +920,14 @@ impl Orb {
         msg: Message,
         deadline: std::time::Duration,
     ) -> OrbResult<Option<ReplyBody>> {
+        if self.core.is_stopped() {
+            return Err(OrbError::ShuttingDown);
+        }
+        let msg = self.apply_faults(target, msg, deadline)?;
+        let Some(msg) = msg else {
+            // A dropped oneway: the send "succeeded", nothing arrives.
+            return Ok(None);
+        };
         if let Some(node) = target.endpoint.strip_prefix("inproc://") {
             let peer = lookup_node(node).ok_or_else(|| OrbError::NodeUnreachable {
                 endpoint: target.endpoint.clone(),
@@ -736,9 +940,13 @@ impl Orb {
             let decoded = Message::decode(&bytes)?;
             match decoded {
                 Message::Request(body) => {
+                    if !peer.begin_dispatch() {
+                        return Err(OrbError::ShuttingDown);
+                    }
                     let reply = peer.serve(body);
                     let reply_bytes = Message::Reply(reply).encode();
                     peer.count_bytes_out(reply_bytes.len());
+                    peer.end_dispatch();
                     self.core.count_bytes_in(reply_bytes.len());
                     match Message::decode(&reply_bytes)? {
                         Message::Reply(body) => Ok(Some(body)),
@@ -757,6 +965,48 @@ impl Orb {
             Err(OrbError::NodeUnreachable {
                 endpoint: target.endpoint.clone(),
             })
+        }
+    }
+
+    /// Offers one outgoing message to the node's fault plan. Returns the
+    /// message (possibly after an injected delay) when it may proceed,
+    /// `Ok(None)` for a silently-dropped oneway, or the injected error.
+    fn apply_faults(
+        &self,
+        target: &ObjRef,
+        msg: Message,
+        deadline: std::time::Duration,
+    ) -> OrbResult<Option<Message>> {
+        let operation = match &msg {
+            Message::Request(body) | Message::Oneway(body) => body.operation.as_str(),
+            Message::Reply(_) => "",
+        };
+        let Some(action) = self.core.faults.decide(&target.endpoint, operation) else {
+            return Ok(Some(msg));
+        };
+        match action {
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(Some(msg))
+            }
+            FaultAction::Drop => match msg {
+                // What a black hole looks like to the caller — minus
+                // the wait for the deadline to actually elapse.
+                Message::Oneway(_) => Ok(None),
+                _ => Err(OrbError::DeadlineExpired { after: deadline }),
+            },
+            FaultAction::Corrupt => Err(OrbError::Transport(
+                "injected fault: frame corrupted in flight".into(),
+            )),
+            FaultAction::Disconnect => {
+                if let Some(addr) = target.endpoint.strip_prefix("tcp://") {
+                    if let Some(conn) = self.core.tcp_pool.lock().remove(addr) {
+                        conn.kill("injected fault: disconnect");
+                    }
+                }
+                Err(OrbError::Transport("injected fault: disconnect".into()))
+            }
+            FaultAction::Error(message) => Err(OrbError::RemoteException { message }),
         }
     }
 }

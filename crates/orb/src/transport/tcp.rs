@@ -109,8 +109,11 @@ pub(crate) fn listen(core: &Arc<OrbCore>, addr: &str) -> OrbResult<SocketAddr> {
 
 fn accept_loop(listener: TcpListener, weak: Weak<OrbCore>) {
     loop {
-        if weak.strong_count() == 0 {
-            return;
+        // Exit when the orb is gone *or* draining: a shutting-down node
+        // stops accepting new connections first.
+        match weak.upgrade() {
+            Some(core) if core.is_running() => {}
+            _ => return,
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -162,12 +165,29 @@ fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
         let Ok(msg) = Message::decode(&body) else {
             return; // protocol violation: drop the connection
         };
-        drop(core);
         let job = match msg {
             Message::Request(req) => (req, true),
             Message::Oneway(req) => (req, false),
             Message::Reply(_) => return, // clients never push replies
         };
+        // A draining node refuses the dispatch up front, waking the
+        // caller with a retryable error instead of letting it block
+        // until its deadline.
+        if !core.begin_dispatch() {
+            if job.1 {
+                let reply = Message::Reply(ReplyBody {
+                    id: job.0.id,
+                    outcome: Err(OrbError::ShuttingDown.to_string()),
+                })
+                .encode();
+                core.count_bytes_out(4 + reply.len());
+                if write_frame(&mut writer.lock(), &reply).is_err() {
+                    return;
+                }
+            }
+            continue;
+        }
+        drop(core);
         // Reserve a waiting worker for this job, or grow the pool; only
         // this dispatcher decrements `idle`, and a worker re-enters it
         // strictly after finishing a job, so a reservation always names
@@ -223,9 +243,16 @@ fn spawn_conn_worker(
                 if needs_reply {
                     let bytes = Message::Reply(reply).encode();
                     core.count_bytes_out(4 + bytes.len());
-                    if write_frame(&mut writer.lock(), &bytes).is_err() {
+                    let wrote = write_frame(&mut writer.lock(), &bytes);
+                    // The dispatch (accepted in `serve_connection`)
+                    // retires only after its reply is flushed, so a
+                    // draining orb never strands an accepted caller.
+                    core.end_dispatch();
+                    if wrote.is_err() {
                         break;
                     }
+                } else {
+                    core.end_dispatch();
                 }
                 // Job done: rejoin the waiting pool. This must come
                 // after the reply write so a reserved worker can never
@@ -308,7 +335,7 @@ impl MuxConnection {
     /// Declares the connection dead: fails every pending caller (their
     /// senders drop, so receivers disconnect) and wakes the reader by
     /// shutting the socket down.
-    fn kill(&self, reason: &str) {
+    pub(crate) fn kill(&self, reason: &str) {
         {
             let mut st = self.state.lock();
             if st.alive {
@@ -496,10 +523,17 @@ pub(crate) fn invoke(
                 conn.forget(id);
                 Err(OrbError::DeadlineExpired { after: deadline })
             }
-            Err(RecvTimeoutError::Disconnected) => Err(OrbError::Transport(format!(
-                "connection lost while awaiting reply: {}",
-                conn.death_reason()
-            ))),
+            Err(RecvTimeoutError::Disconnected) => {
+                let reason = conn.death_reason();
+                if reason.contains("shutting down") {
+                    // Our own orb tore the pool down mid-call.
+                    Err(OrbError::ShuttingDown)
+                } else {
+                    Err(OrbError::Transport(format!(
+                        "connection lost while awaiting reply: {reason}"
+                    )))
+                }
+            }
         };
         conn.inflight.sub(1);
         return out;

@@ -1,6 +1,7 @@
 //! Service offers: what servers export and importers get back.
 
 use std::fmt;
+use std::time::Duration;
 
 use adapta_idl::Value;
 use adapta_orb::ObjRef;
@@ -87,16 +88,27 @@ pub struct ExportRequest {
     pub target: ObjRef,
     /// Offer properties.
     pub properties: Vec<(String, PropValue)>,
+    /// Optional liveness lease: the offer expires this long after
+    /// export unless the exporter [renews](crate::Trader::renew) it.
+    /// `None` means the offer lives until withdrawn.
+    pub lease: Option<Duration>,
 }
 
 impl ExportRequest {
-    /// Creates a request with no properties.
+    /// Creates a request with no properties and no lease.
     pub fn new(service_type: impl Into<String>, target: ObjRef) -> Self {
         ExportRequest {
             service_type: service_type.into(),
             target,
             properties: Vec::new(),
+            lease: None,
         }
+    }
+
+    /// Attaches a liveness lease of `ttl`; returns `self` for chaining.
+    pub fn with_lease(mut self, ttl: Duration) -> Self {
+        self.lease = Some(ttl);
+        self
     }
 
     /// Adds a static property; returns `self` for chaining.

@@ -1,6 +1,8 @@
 //! Remote access to a trader: the servant exposing it over the ORB and
 //! the client-side wrapper, both behind one [`TradingService`] trait.
 
+use std::time::Duration;
+
 use adapta_idl::{TypeCode, Value};
 use adapta_orb::{OrbError, Proxy, Servant};
 
@@ -35,6 +37,14 @@ pub trait TradingService: Send + Sync {
     /// Unknown offers.
     fn withdraw(&self, id: &OfferId) -> Result<()>;
 
+    /// Renews an offer's liveness lease (and lifts quarantine); see
+    /// [`Trader::renew`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown (or already swept) offers.
+    fn renew(&self, id: &OfferId, ttl: Option<Duration>) -> Result<()>;
+
     /// Modifies an offer's properties.
     ///
     /// # Errors
@@ -59,6 +69,9 @@ impl TradingService for Trader {
     }
     fn withdraw(&self, id: &OfferId) -> Result<()> {
         Trader::withdraw(self, id)
+    }
+    fn renew(&self, id: &OfferId, ttl: Option<Duration>) -> Result<()> {
+        Trader::renew(self, id, ttl)
     }
     fn modify(&self, id: &OfferId, props: Vec<(String, PropValue)>) -> Result<()> {
         Trader::modify(self, id, props)
@@ -180,6 +193,25 @@ fn props_from_value(v: &Value) -> Option<Vec<(String, PropValue)>> {
         .collect()
 }
 
+/// Decodes an optional lease-TTL argument (milliseconds as `Long`, or
+/// `Null`/absent for no lease). Outer `None` means malformed.
+fn lease_from_arg(v: Option<&Value>) -> Option<Option<Duration>> {
+    match v {
+        None | Some(Value::Null) => Some(None),
+        Some(v) => {
+            let ms = u64::try_from(v.as_long()?).ok()?;
+            Some(Some(Duration::from_millis(ms)))
+        }
+    }
+}
+
+fn lease_to_arg(lease: Option<Duration>) -> Value {
+    match lease {
+        Some(ttl) => Value::Long(i64::try_from(ttl.as_millis()).unwrap_or(i64::MAX)),
+        None => Value::Null,
+    }
+}
+
 fn bad_args(what: &str) -> OrbError {
     OrbError::exception(format!("malformed arguments to {what}"))
 }
@@ -192,7 +224,8 @@ fn to_orb_err(e: TradingError) -> OrbError {
 
 /// Exposes a [`Trader`] as an ORB servant (interface `Trader`).
 ///
-/// Operations: `addType`, `export`, `withdraw`, `modify`, `query`,
+/// Operations: `addType`, `export` (optional fourth argument: lease TTL
+/// in milliseconds), `withdraw`, `renew`, `modify`, `query`,
 /// `listLinks`, `addLink`.
 #[derive(Debug, Clone)]
 pub struct TraderServant {
@@ -234,12 +267,14 @@ impl Servant for TraderServant {
                     .get(2)
                     .and_then(props_from_value)
                     .ok_or_else(|| bad_args("export"))?;
+                let lease = lease_from_arg(args.get(3)).ok_or_else(|| bad_args("export"))?;
                 let id = self
                     .trader
                     .export(ExportRequest {
                         service_type: service_type.to_owned(),
                         target: target.clone(),
                         properties,
+                        lease,
                     })
                     .map_err(to_orb_err)?;
                 Ok(Value::from(id.as_str()))
@@ -251,6 +286,17 @@ impl Servant for TraderServant {
                     .ok_or_else(|| bad_args("withdraw"))?;
                 self.trader
                     .withdraw(&OfferId::from_string(id))
+                    .map_err(to_orb_err)?;
+                Ok(Value::Null)
+            }
+            "renew" => {
+                let id = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad_args("renew"))?;
+                let ttl = lease_from_arg(args.get(1)).ok_or_else(|| bad_args("renew"))?;
+                self.trader
+                    .renew(&OfferId::from_string(id), ttl)
                     .map_err(to_orb_err)?;
                 Ok(Value::Null)
             }
@@ -353,6 +399,7 @@ impl TradingService for RemoteTrader {
                     Value::from(request.service_type.as_str()),
                     Value::ObjRef(request.target.clone()),
                     props_to_value(&request.properties),
+                    lease_to_arg(request.lease),
                 ],
             )
             .map_err(TradingError::Orb)?;
@@ -365,6 +412,13 @@ impl TradingService for RemoteTrader {
     fn withdraw(&self, id: &OfferId) -> Result<()> {
         self.proxy
             .invoke("withdraw", vec![Value::from(id.as_str())])
+            .map_err(TradingError::Orb)?;
+        Ok(())
+    }
+
+    fn renew(&self, id: &OfferId, ttl: Option<Duration>) -> Result<()> {
+        self.proxy
+            .invoke("renew", vec![Value::from(id.as_str()), lease_to_arg(ttl)])
             .map_err(TradingError::Orb)?;
         Ok(())
     }
@@ -435,6 +489,27 @@ mod tests {
 
         remote.withdraw(&id).unwrap();
         assert!(remote.query(&Query::new("Hello")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remote_lease_and_renew() {
+        let (_client, remote) = remote_pair();
+        remote.add_type(hello_type()).unwrap();
+        let id = remote
+            .export(
+                ExportRequest::new("Hello", ObjRefData::new("inproc://s", "h", "Hello"))
+                    .with_property("LoadAvg", Value::from(1.0))
+                    .with_lease(Duration::from_millis(25)),
+            )
+            .unwrap();
+        assert_eq!(remote.query(&Query::new("Hello")).unwrap().len(), 1);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(remote.query(&Query::new("Hello")).unwrap().is_empty());
+        remote.renew(&id, Some(Duration::from_millis(500))).unwrap();
+        assert_eq!(remote.query(&Query::new("Hello")).unwrap().len(), 1);
+        assert!(remote
+            .renew(&OfferId::from_string("offer-99"), None)
+            .is_err());
     }
 
     #[test]

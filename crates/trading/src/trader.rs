@@ -1,11 +1,12 @@
 //! The trader: service-type repository, offer register, importer.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use adapta_idl::Value;
-use adapta_orb::{ObjRef, Orb};
+use adapta_orb::{InvokeOptions, ObjRef, Orb};
 use adapta_telemetry::{registry, Span};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -25,14 +26,41 @@ use crate::Result;
 /// eval refs (so importers can subscribe to the monitors behind them).
 type ResolvedProps = (Vec<(String, Value)>, Vec<(String, ObjRef)>);
 
+/// A liveness lease on an offer: the offer expires `ttl` after export
+/// (or after the last renewal) unless the exporter renews it.
+struct Lease {
+    ttl: Duration,
+    expires_at: Instant,
+}
+
+/// An offer as the trader tracks it: the public [`ServiceOffer`] plus
+/// liveness bookkeeping (lease, quarantine flag).
+struct OfferEntry {
+    offer: ServiceOffer,
+    lease: Option<Lease>,
+    quarantined: bool,
+}
+
+impl OfferEntry {
+    fn expired(&self, now: Instant) -> bool {
+        self.lease.as_ref().is_some_and(|l| now >= l.expires_at)
+    }
+
+    /// True if the offer may be returned to importers.
+    fn visible(&self, now: Instant) -> bool {
+        !self.quarantined && !self.expired(now)
+    }
+}
+
 struct TraderInner {
     orb: Orb,
     types: RwLock<HashMap<String, ServiceTypeDef>>,
-    offers: RwLock<BTreeMap<u64, ServiceOffer>>,
+    offers: RwLock<BTreeMap<u64, OfferEntry>>,
     next_offer: AtomicU64,
     links: RwLock<Vec<(String, ObjRef)>>,
     rng: Mutex<StdRng>,
     queries: AtomicU64,
+    sweeping: AtomicBool,
 }
 
 /// The trading service.
@@ -68,6 +96,7 @@ impl Trader {
                 links: RwLock::new(Vec::new()),
                 rng: Mutex::new(StdRng::seed_from_u64(0x7261_6465)),
                 queries: AtomicU64::new(0),
+                sweeping: AtomicBool::new(false),
             }),
         }
     }
@@ -184,7 +213,21 @@ impl Trader {
             target: request.target,
             properties: request.properties,
         };
-        self.inner.offers.write().insert(n, offer);
+        let lease = request.lease.map(|ttl| {
+            registry().counter("trading.lease.granted").incr();
+            Lease {
+                ttl,
+                expires_at: Instant::now() + ttl,
+            }
+        });
+        self.inner.offers.write().insert(
+            n,
+            OfferEntry {
+                offer,
+                lease,
+                quarantined: false,
+            },
+        );
         Ok(id)
     }
 
@@ -247,23 +290,54 @@ impl Trader {
     pub fn modify(&self, id: &OfferId, props: Vec<(String, PropValue)>) -> Result<()> {
         let seq = Self::offer_seq(id).ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
         let mut offers = self.inner.offers.write();
-        let offer = offers
+        let entry = offers
             .get_mut(&seq)
             .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
-        let service_type = offer.service_type.clone();
+        let service_type = entry.offer.service_type.clone();
         drop(offers);
         self.validate_props(&service_type, &props, true)?;
         let mut offers = self.inner.offers.write();
-        let offer = offers
+        let entry = offers
             .get_mut(&seq)
             .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
         for (name, value) in props {
-            if let Some(slot) = offer.properties.iter_mut().find(|(n, _)| *n == name) {
+            if let Some(slot) = entry.offer.properties.iter_mut().find(|(n, _)| *n == name) {
                 slot.1 = value;
             } else {
-                offer.properties.push((name, value));
+                entry.offer.properties.push((name, value));
             }
         }
+        Ok(())
+    }
+
+    /// Renews an offer's liveness lease and lifts any liveness
+    /// quarantine: with `Some(ttl)` the lease is replaced (or created)
+    /// with the new TTL; with `None` the existing TTL is extended from
+    /// now (a no-op for offers without a lease).
+    ///
+    /// # Errors
+    ///
+    /// [`TradingError::UnknownOffer`] — including offers whose expired
+    /// lease has already been swept.
+    pub fn renew(&self, id: &OfferId, ttl: Option<Duration>) -> Result<()> {
+        let seq = Self::offer_seq(id).ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
+        let mut offers = self.inner.offers.write();
+        let entry = offers
+            .get_mut(&seq)
+            .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))?;
+        let now = Instant::now();
+        match (ttl, &mut entry.lease) {
+            (Some(ttl), lease) => {
+                *lease = Some(Lease {
+                    ttl,
+                    expires_at: now + ttl,
+                });
+            }
+            (None, Some(lease)) => lease.expires_at = now + lease.ttl,
+            (None, None) => {}
+        }
+        entry.quarantined = false;
+        registry().counter("trading.lease.renewals").incr();
         Ok(())
     }
 
@@ -278,13 +352,127 @@ impl Trader {
             .offers
             .read()
             .get(&seq)
-            .cloned()
+            .map(|e| e.offer.clone())
             .ok_or_else(|| TradingError::UnknownOffer(id.to_string()))
     }
 
-    /// All registered offers, in registration order.
+    /// All registered offers, in registration order — including leased
+    /// and quarantined ones (an administrative view; importers only see
+    /// live offers).
     pub fn list_offers(&self) -> Vec<ServiceOffer> {
-        self.inner.offers.read().values().cloned().collect()
+        self.inner
+            .offers
+            .read()
+            .values()
+            .map(|e| e.offer.clone())
+            .collect()
+    }
+
+    /// Offers currently quarantined by the liveness sweeper.
+    pub fn quarantined_offers(&self) -> Vec<OfferId> {
+        self.inner
+            .offers
+            .read()
+            .values()
+            .filter(|e| e.quarantined)
+            .map(|e| e.offer.id.clone())
+            .collect()
+    }
+
+    // ---- liveness ----------------------------------------------------------
+
+    /// Starts the background liveness sweeper: every `interval` it
+    /// drops offers whose lease expired and pings each remaining
+    /// exporter (`_non_existent` with `ping_deadline`), quarantining
+    /// non-responders and reviving quarantined offers that answer
+    /// again. Returns `false` if a sweeper is already running.
+    ///
+    /// The thread holds only a weak handle and exits shortly after the
+    /// last `Trader` clone is dropped.
+    pub fn start_liveness_sweeper(&self, interval: Duration, ping_deadline: Duration) -> bool {
+        if self.inner.sweeping.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let weak = Arc::downgrade(&self.inner);
+        std::thread::Builder::new()
+            .name("trader-liveness".into())
+            .spawn(move || loop {
+                // Sleep in short steps so the thread notices the trader
+                // going away without waiting out a long interval.
+                let mut left = interval;
+                while !left.is_zero() {
+                    let step = left.min(Duration::from_millis(10));
+                    std::thread::sleep(step);
+                    left = left.saturating_sub(step);
+                    if weak.strong_count() == 0 {
+                        return;
+                    }
+                }
+                let Some(inner) = weak.upgrade() else { return };
+                Trader { inner }.sweep_liveness(ping_deadline);
+            })
+            .expect("spawn trader liveness sweeper");
+        true
+    }
+
+    /// Runs one liveness pass synchronously (what the background
+    /// sweeper does each interval); deterministic hook for tests and
+    /// scripts. Returns the number of offers whose state changed
+    /// (expired-and-dropped, quarantined, or revived).
+    pub fn sweep_liveness(&self, ping_deadline: Duration) -> usize {
+        // Phase 1: drop expired leases.
+        let now = Instant::now();
+        let mut changed = 0usize;
+        {
+            let mut offers = self.inner.offers.write();
+            let before = offers.len();
+            offers.retain(|_, entry| !entry.expired(now));
+            let expired = before - offers.len();
+            if expired > 0 {
+                registry()
+                    .counter("trading.lease.expired")
+                    .add(expired as u64);
+                changed += expired;
+            }
+        }
+        // Phase 2: ping exporters — outside the lock, so slow or hung
+        // targets never stall exports and queries.
+        let targets: Vec<(u64, ObjRef, bool)> = self
+            .inner
+            .offers
+            .read()
+            .iter()
+            .map(|(seq, entry)| (*seq, entry.offer.target.clone(), entry.quarantined))
+            .collect();
+        for (seq, target, was_quarantined) in targets {
+            registry().counter("trading.liveness.pings").incr();
+            let alive = match self.inner.orb.invoke_ref_with(
+                &target,
+                "_non_existent",
+                vec![],
+                InvokeOptions::new().deadline(ping_deadline),
+            ) {
+                // `_non_existent` answers true when the key is gone.
+                Ok(v) => v.as_bool() != Some(true),
+                // A connectivity-class failure means the exporter is
+                // unreachable; any other error still proves something
+                // answered at that endpoint.
+                Err(e) => !e.is_retryable(),
+            };
+            let mut offers = self.inner.offers.write();
+            if let Some(entry) = offers.get_mut(&seq) {
+                if alive && was_quarantined && entry.quarantined {
+                    entry.quarantined = false;
+                    registry().counter("trading.liveness.revived").incr();
+                    changed += 1;
+                } else if !alive && !entry.quarantined {
+                    entry.quarantined = true;
+                    registry().counter("trading.liveness.quarantined").incr();
+                    changed += 1;
+                }
+            }
+        }
+        changed
     }
 
     // ---- federation ------------------------------------------------------
@@ -327,11 +515,14 @@ impl Trader {
         let constraint = Constraint::parse(&q.constraint)?;
         let preference = Preference::parse(&q.preference)?;
 
+        let now = Instant::now();
         let candidates: Vec<ServiceOffer> = self
             .inner
             .offers
             .read()
             .values()
+            .filter(|entry| entry.visible(now))
+            .map(|entry| &entry.offer)
             .filter(|offer| {
                 if q.policies.exact_type_match {
                     offer.service_type == q.service_type
@@ -363,6 +554,22 @@ impl Trader {
                     dynamic,
                 });
             }
+        }
+        // Re-validate the local matches against the live offer set: the
+        // loop above invokes dynamic-property evaluators through the
+        // orb, a window in which a concurrent `withdraw` may have been
+        // acknowledged — and an offer must never be returned after its
+        // withdrawal acked. (Runs before federation results are merged:
+        // federated ids use the same `offer-N` namespace and must not be
+        // checked against the local table.)
+        {
+            let offers = self.inner.offers.read();
+            let now = Instant::now();
+            matches.retain(|m| {
+                Self::offer_seq(&m.id)
+                    .and_then(|seq| offers.get(&seq))
+                    .is_some_and(|entry| entry.visible(now))
+            });
         }
         span.attr("matches", &matches.len().to_string());
 
@@ -689,6 +896,100 @@ mod tests {
             .map(|m| m.id.clone())
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn leases_expire_and_renew() {
+        let (_orb, trader) = trader_with_type();
+        let id = trader
+            .export(
+                ExportRequest::new("Hello", target(1))
+                    .with_property("LoadAvg", Value::from(1.0))
+                    .with_lease(Duration::from_millis(30)),
+            )
+            .unwrap();
+        assert_eq!(trader.query(&Query::new("Hello")).unwrap().len(), 1);
+        std::thread::sleep(Duration::from_millis(45));
+        // An expired lease hides the offer even before a sweep runs.
+        assert!(trader.query(&Query::new("Hello")).unwrap().is_empty());
+        // Renewing before the sweep revives it (same TTL, new window).
+        trader.renew(&id, None).unwrap();
+        assert_eq!(trader.query(&Query::new("Hello")).unwrap().len(), 1);
+        // Once expired *and* swept, the offer is gone for good.
+        std::thread::sleep(Duration::from_millis(45));
+        assert!(trader.sweep_liveness(Duration::from_millis(20)) >= 1);
+        assert!(trader.list_offers().is_empty());
+        assert!(matches!(
+            trader.renew(&id, None),
+            Err(TradingError::UnknownOffer(_))
+        ));
+    }
+
+    #[test]
+    fn sweeper_quarantines_dead_exporters_and_revives_returning_ones() {
+        let orb = Orb::new("t-trader-liveness");
+        let trader = Trader::new(&orb);
+        trader.add_type(ServiceTypeDef::new("Svc")).unwrap();
+        let live_ref = orb
+            .activate("svc", ServantFn::new("Svc", |_, _| Ok(Value::Null)))
+            .unwrap();
+        let dead_ref = ObjRef::new("inproc://t-liveness-lazarus", "svc", "Svc");
+        let live = trader.export(ExportRequest::new("Svc", live_ref)).unwrap();
+        let dead = trader.export(ExportRequest::new("Svc", dead_ref)).unwrap();
+        assert_eq!(trader.query(&Query::new("Svc")).unwrap().len(), 2);
+
+        // The dead exporter is quarantined; the live one keeps serving.
+        assert!(trader.sweep_liveness(Duration::from_millis(50)) >= 1);
+        assert_eq!(trader.quarantined_offers(), vec![dead.clone()]);
+        let matches = trader.query(&Query::new("Svc")).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].id, live);
+
+        // The exporter comes back up: the next sweep revives its offer.
+        let lazarus = Orb::new("t-liveness-lazarus");
+        lazarus
+            .activate("svc", ServantFn::new("Svc", |_, _| Ok(Value::Null)))
+            .unwrap();
+        assert!(trader.sweep_liveness(Duration::from_millis(50)) >= 1);
+        assert!(trader.quarantined_offers().is_empty());
+        assert_eq!(trader.query(&Query::new("Svc")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn background_sweeper_runs_and_is_single_instance() {
+        let orb = Orb::new("t-trader-bg-sweep");
+        let trader = Trader::new(&orb);
+        trader.add_type(ServiceTypeDef::new("Svc")).unwrap();
+        trader
+            .export(ExportRequest::new(
+                "Svc",
+                ObjRef::new("inproc://t-bg-sweep-nowhere", "svc", "Svc"),
+            ))
+            .unwrap();
+        assert!(trader.start_liveness_sweeper(Duration::from_millis(20), Duration::from_millis(50)));
+        assert!(
+            !trader.start_liveness_sweeper(Duration::from_millis(20), Duration::from_millis(50))
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while trader.quarantined_offers().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sweeper never quarantined the dead exporter"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn renew_lifts_quarantine() {
+        let (_orb, trader) = trader_with_type();
+        let id = export(&trader, 1, 5.0);
+        // target(1) points at a node that does not exist.
+        trader.sweep_liveness(Duration::from_millis(20));
+        assert_eq!(trader.quarantined_offers(), vec![id.clone()]);
+        trader.renew(&id, None).unwrap();
+        assert!(trader.quarantined_offers().is_empty());
+        assert_eq!(trader.query(&Query::new("Hello")).unwrap().len(), 1);
     }
 
     #[test]
