@@ -8,8 +8,23 @@
 #
 # `./ci.sh --chaos` runs the fault-injection suite (tests/chaos.rs) and
 # the E11 chaos experiment. Also advisory/non-blocking in CI.
+#
+# `./ci.sh --sandbox` runs the hostile-code suite (tests/sandbox.rs),
+# the script crate's sandbox property tests and the E12 overload
+# experiment. Also advisory/non-blocking in CI.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--sandbox" ]]; then
+    echo "==> sandbox: hostile remote code, quarantine, admission control"
+    cargo test -q --test sandbox
+    echo "==> sandbox: script resource-budget property tests"
+    cargo test -q -p adapta-script --test sandbox_props
+    echo "==> sandbox: experiment E12"
+    OVERLOAD_CALLS="${OVERLOAD_CALLS:-40}" cargo run -q -p adapta-bench --release --bin exp_overload
+    echo "Sandbox run green."
+    exit 0
+fi
 
 if [[ "${1:-}" == "--chaos" ]]; then
     echo "==> chaos: fault injection, recovery policy, graceful shutdown"

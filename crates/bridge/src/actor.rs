@@ -14,16 +14,33 @@ use crate::convert::{from_wire, to_wire};
 pub enum ActorError {
     /// The script raised an error (or failed to parse).
     Script(String),
+    /// The script hit a sandbox resource limit (step budget, memory
+    /// cap, call depth or wall-clock deadline). Kept distinct from
+    /// [`Script`](Self::Script) so hosts can treat it as evidence of
+    /// hostile or runaway code rather than an ordinary bug.
+    Resource(String),
+    /// The host refused the operation before running any script
+    /// (admission control: install quotas and the like).
+    Rejected(String),
     /// The actor thread is gone.
     Disconnected,
     /// A stored function handle was not found (already dropped?).
     UnknownFunction(u64),
 }
 
+impl ActorError {
+    /// True when the script was stopped by the sandbox.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(self, ActorError::Resource(_))
+    }
+}
+
 impl fmt::Display for ActorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ActorError::Script(m) => write!(f, "{m}"),
+            ActorError::Script(m) | ActorError::Resource(m) | ActorError::Rejected(m) => {
+                write!(f, "{m}")
+            }
             ActorError::Disconnected => write!(f, "script actor is gone"),
             ActorError::UnknownFunction(id) => write!(f, "unknown stored function #{id}"),
         }
@@ -34,7 +51,11 @@ impl std::error::Error for ActorError {}
 
 impl From<RuaError> for ActorError {
     fn from(e: RuaError) -> Self {
-        ActorError::Script(e.to_string())
+        if e.is_resource_limit() {
+            ActorError::Resource(e.to_string())
+        } else {
+            ActorError::Script(e.to_string())
+        }
     }
 }
 

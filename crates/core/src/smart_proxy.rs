@@ -45,6 +45,12 @@ pub struct Subscription {
 /// proxy is willing to try it again.
 const DEFAULT_DEAD_TARGET_TTL: Duration = Duration::from_secs(5);
 
+/// Bound on the deferred-event queue. Events only drive *when* the
+/// proxy reconsiders its binding, so under a notification storm the
+/// oldest entries are the most stale — they are dropped first (counted
+/// under `smartproxy.<type>.events_dropped`).
+const MAX_PENDING_EVENTS: usize = 256;
+
 impl Subscription {
     /// Creates a subscription.
     pub fn new(
@@ -353,6 +359,15 @@ impl SmartProxyBuilder {
                 } else {
                     let depth = {
                         let mut events = proxy.inner.events.lock();
+                        // Bounded: a notification storm cannot grow the
+                        // queue without limit — beyond the cap the
+                        // oldest (stalest) event is dropped and counted.
+                        if events.len() >= MAX_PENDING_EVENTS {
+                            events.pop_front();
+                            registry()
+                                .counter(&proxy.inner.metric("events_dropped"))
+                                .incr();
+                        }
                         events.push_back(event);
                         events.len()
                     };

@@ -29,8 +29,16 @@ use crate::monitor::{Monitor, ObserverTarget, PredicateFn};
 /// Builds the script-facing facade table for a monitor.
 ///
 /// Runs on the actor thread (callers pass the interpreter from inside a
-/// `with`/`call_with` closure).
-pub(crate) fn monitor_facade(_interp: &mut Interpreter, monitor: &Monitor) -> Script {
+/// `with`/`call_with` closure). `actor` is the actor hosting that
+/// interpreter — code compiled by `defineAspect`/`attachEventObserver`
+/// lives there — and `installer` is the identity installs are charged
+/// to (remote installers are quota-checked, `"local"` is not).
+pub(crate) fn monitor_facade(
+    _interp: &mut Interpreter,
+    monitor: &Monitor,
+    actor: &ScriptActor,
+    installer: &str,
+) -> Script {
     let table = Table::new();
     let t = std::rc::Rc::new(std::cell::RefCell::new(table));
 
@@ -99,6 +107,8 @@ pub(crate) fn monitor_facade(_interp: &mut Interpreter, monitor: &Monitor) -> Sc
 
     {
         let m = monitor.clone();
+        let a = actor.clone();
+        let who = installer.to_owned();
         set(
             &t,
             "defineAspect",
@@ -109,9 +119,21 @@ pub(crate) fn monitor_facade(_interp: &mut Interpreter, monitor: &Monitor) -> Sc
                     .ok_or_else(|| {
                         adapta_script::RuaError::runtime("defineAspect: name expected", 0)
                     })?;
+                if who != "local" {
+                    m.check_quota(&who)
+                        .map_err(|e| adapta_script::RuaError::runtime(e.to_string(), 0))?;
+                }
                 let func = compile_code_arg(interp, args.get(2))?;
                 let self_table = ScriptActor::stored_put(interp, Script::table());
-                m.put_aspect(name, crate::monitor::AspectFn::Script { func, self_table });
+                m.put_aspect(
+                    name,
+                    who.clone(),
+                    crate::monitor::AspectFn::Script {
+                        actor: a.clone(),
+                        func,
+                        self_table,
+                    },
+                );
                 Ok(vec![])
             }),
         );
@@ -119,6 +141,8 @@ pub(crate) fn monitor_facade(_interp: &mut Interpreter, monitor: &Monitor) -> Sc
 
     {
         let m = monitor.clone();
+        let a = actor.clone();
+        let who = installer.to_owned();
         set(
             &t,
             "attachEventObserver",
@@ -133,9 +157,21 @@ pub(crate) fn monitor_facade(_interp: &mut Interpreter, monitor: &Monitor) -> Sc
                             0,
                         )
                     })?;
+                if who != "local" {
+                    m.check_quota(&who)
+                        .map_err(|e| adapta_script::RuaError::runtime(e.to_string(), 0))?;
+                }
                 let predicate = compile_code_arg(interp, args.get(3))?;
                 let target = observer_target(interp, observer)?;
-                let id = m.push_observer(target, event_id, PredicateFn::Script(predicate));
+                let id = m.push_observer(
+                    target,
+                    event_id,
+                    who.clone(),
+                    PredicateFn::Script {
+                        actor: a.clone(),
+                        func: predicate,
+                    },
+                );
                 Ok(vec![Script::Num(id.0 as f64)])
             }),
         );
@@ -287,7 +323,12 @@ impl MonitorHost {
                         .build(&ctor_host.actor, &ctor_host.orb)
                         .map_err(|e| adapta_script::RuaError::runtime(e.to_string(), 0))?;
                     ctor_host.monitors.lock().push(monitor.clone());
-                    Ok(vec![monitor_facade(interp, &monitor)])
+                    Ok(vec![monitor_facade(
+                        interp,
+                        &monitor,
+                        &ctor_host.actor,
+                        "local",
+                    )])
                 });
                 let mut class = Table::new();
                 class.set_str("__class", Script::str("EventMonitor"));

@@ -1,0 +1,196 @@
+//! Quarantine guard for installed aspect/predicate code.
+//!
+//! Mirrors the circuit-breaker shape of `adapta-core::resilience`, but
+//! counts *ticks* instead of wall time: an entry whose evaluations fail
+//! `QUARANTINE_THRESHOLD` times in a row (errors or sandbox budget
+//! exhaustion) goes into a penalty box for `QUARANTINE_BASE_TICKS`
+//! ticks. When the penalty expires the entry gets a single re-admission
+//! probe; a failed probe doubles the penalty (capped at
+//! `QUARANTINE_MAX_TICKS`), a successful one readmits the entry. One
+//! poisoned predicate can therefore never starve the tick or the other
+//! observers: after the first few failures it costs one evaluation per
+//! penalty window.
+
+/// Consecutive failures before an entry is quarantined.
+pub(crate) const QUARANTINE_THRESHOLD: u32 = 3;
+/// Initial penalty, in ticks.
+pub(crate) const QUARANTINE_BASE_TICKS: u64 = 8;
+/// Penalty ceiling for the exponential backoff.
+pub(crate) const QUARANTINE_MAX_TICKS: u64 = 256;
+
+/// What the guard decided for this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Entry is healthy — evaluate it.
+    Run,
+    /// Penalty expired — evaluate it once as a re-admission probe.
+    Probe,
+    /// Entry is in the penalty box — skip it.
+    Skip,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Active,
+    Quarantined { remaining: u64 },
+    Probation,
+}
+
+/// Per-entry quarantine state machine.
+#[derive(Debug)]
+pub(crate) struct Guard {
+    state: State,
+    streak: u32,
+    penalty: u64,
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Guard {
+            state: State::Active,
+            streak: 0,
+            penalty: QUARANTINE_BASE_TICKS,
+        }
+    }
+}
+
+impl Guard {
+    /// Decides whether to evaluate the entry this tick.
+    pub(crate) fn admit(&mut self) -> Admit {
+        match self.state {
+            State::Active => Admit::Run,
+            State::Probation => Admit::Probe,
+            State::Quarantined { remaining } => {
+                if remaining == 0 {
+                    self.state = State::Probation;
+                    Admit::Probe
+                } else {
+                    self.state = State::Quarantined {
+                        remaining: remaining - 1,
+                    };
+                    Admit::Skip
+                }
+            }
+        }
+    }
+
+    /// Records a successful evaluation; returns `true` if this readmits
+    /// a quarantined entry.
+    pub(crate) fn on_success(&mut self) -> bool {
+        self.streak = 0;
+        let readmitted = self.state == State::Probation;
+        if readmitted {
+            self.penalty = QUARANTINE_BASE_TICKS;
+        }
+        self.state = State::Active;
+        readmitted
+    }
+
+    /// Records a failed evaluation; returns `true` if this sends the
+    /// entry into the penalty box (first entry or failed probe).
+    pub(crate) fn on_failure(&mut self) -> bool {
+        self.streak = self.streak.saturating_add(1);
+        match self.state {
+            State::Active if self.streak >= QUARANTINE_THRESHOLD => {
+                self.state = State::Quarantined {
+                    remaining: self.penalty,
+                };
+                true
+            }
+            State::Probation => {
+                self.penalty = (self.penalty * 2).min(QUARANTINE_MAX_TICKS);
+                self.state = State::Quarantined {
+                    remaining: self.penalty,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the entry currently sits in the penalty box.
+    pub(crate) fn is_quarantined(&self) -> bool {
+        !matches!(self.state, State::Active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_entries_always_run() {
+        let mut g = Guard::default();
+        for _ in 0..100 {
+            assert_eq!(g.admit(), Admit::Run);
+            assert!(!g.on_success());
+        }
+        assert!(!g.is_quarantined());
+    }
+
+    #[test]
+    fn streak_opens_the_penalty_box_and_probe_readmits() {
+        let mut g = Guard::default();
+        // Two failures with a success in between never quarantine.
+        g.on_failure();
+        g.on_failure();
+        g.on_success();
+        assert!(!g.is_quarantined());
+        // Three in a row do.
+        assert!(!g.on_failure());
+        assert!(!g.on_failure());
+        assert!(g.on_failure());
+        assert!(g.is_quarantined());
+        // Skipped for the whole penalty window...
+        for _ in 0..QUARANTINE_BASE_TICKS {
+            assert_eq!(g.admit(), Admit::Skip);
+        }
+        // ...then probed, and a success readmits.
+        assert_eq!(g.admit(), Admit::Probe);
+        assert!(g.on_success());
+        assert_eq!(g.admit(), Admit::Run);
+    }
+
+    #[test]
+    fn failed_probes_back_off_exponentially_to_a_cap() {
+        let mut g = Guard::default();
+        for _ in 0..QUARANTINE_THRESHOLD {
+            g.on_failure();
+        }
+        let mut expected = QUARANTINE_BASE_TICKS;
+        for _ in 0..8 {
+            let mut skipped = 0;
+            loop {
+                match g.admit() {
+                    Admit::Skip => skipped += 1,
+                    Admit::Probe => break,
+                    Admit::Run => panic!("quarantined entry ran"),
+                }
+            }
+            assert_eq!(skipped, expected);
+            assert!(g.on_failure(), "failed probe re-enters the box");
+            expected = (expected * 2).min(QUARANTINE_MAX_TICKS);
+        }
+        assert_eq!(expected, QUARANTINE_MAX_TICKS);
+    }
+
+    #[test]
+    fn readmission_resets_the_penalty() {
+        let mut g = Guard::default();
+        for _ in 0..QUARANTINE_THRESHOLD {
+            g.on_failure();
+        }
+        while g.admit() != Admit::Probe {}
+        g.on_failure(); // penalty now doubled
+        while g.admit() != Admit::Probe {}
+        g.on_success(); // readmitted: penalty back to base
+        for _ in 0..QUARANTINE_THRESHOLD {
+            g.on_failure();
+        }
+        let mut skipped = 0;
+        while g.admit() == Admit::Skip {
+            skipped += 1;
+        }
+        assert_eq!(skipped, QUARANTINE_BASE_TICKS);
+    }
+}

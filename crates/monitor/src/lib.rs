@@ -31,6 +31,7 @@
 
 mod driver;
 mod facade;
+mod guard;
 mod loadavg;
 mod monitor;
 mod servant;
@@ -39,5 +40,8 @@ pub use adapta_bridge::{ActorError, ScriptActor};
 pub use driver::MonitorDriver;
 pub use facade::MonitorHost;
 pub use loadavg::{load_average_monitor, loadavg_reader, LOAD_AVERAGE_MONITOR_SOURCE};
-pub use monitor::{Monitor, MonitorBuilder, ObserverId, ObserverTarget};
+pub use monitor::{
+    Monitor, MonitorBuilder, ObserverId, ObserverTarget, EVICT_AFTER_FAILED_PUSHES,
+    MAX_INSTALLS_PER_INSTALLER, OBSERVER_QUEUE_CAP,
+};
 pub use servant::MonitorServant;

@@ -1,6 +1,7 @@
 //! The monitor object: one observed property, its aspects and its
 //! event observers.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -8,10 +9,23 @@ use std::time::Duration;
 use adapta_bridge::{ActorError, FuncHandle, ScriptActor};
 use adapta_idl::Value;
 use adapta_orb::{ObjRef, Orb};
+use adapta_script::SandboxPolicy;
 use adapta_sim::SimTime;
 use parking_lot::Mutex;
 
 use crate::facade;
+use crate::guard::{Admit, Guard};
+
+/// Max aspects + observers one installer identity may have live at a
+/// time. Remote installs (see [`Monitor::define_aspect_script_remote`])
+/// beyond this are rejected before any script is compiled.
+pub const MAX_INSTALLS_PER_INSTALLER: usize = 32;
+/// Bound on each observer's pending-push queue; same-event entries
+/// coalesce, and overflow drops the oldest.
+pub const OBSERVER_QUEUE_CAP: usize = 16;
+/// Consecutive failed `oneway` pushes after which a remote observer is
+/// evicted.
+pub const EVICT_AFTER_FAILED_PUSHES: u32 = 5;
 
 /// Where a monitor's property value comes from on each tick.
 pub(crate) enum ValueSource {
@@ -27,8 +41,11 @@ pub(crate) enum AspectFn {
     /// Native evaluator: `f(current_value) -> aspect_value`.
     Native(Box<dyn Fn(&Value) -> Value + Send + Sync>),
     /// Script evaluator `function(self, currval, monitor)` with a
-    /// persistent `self` table (both stored in the actor).
+    /// persistent `self` table (both stored in `actor` — the monitor's
+    /// trusted actor for local installs, the sandboxed actor for
+    /// remotely shipped code).
     Script {
+        actor: ScriptActor,
         func: FuncHandle,
         self_table: FuncHandle,
     },
@@ -36,8 +53,10 @@ pub(crate) enum AspectFn {
 
 struct AspectEntry {
     name: String,
+    installer: String,
     func: AspectFn,
     last: Value,
+    guard: Guard,
 }
 
 /// Identifies an attached event observer.
@@ -68,15 +87,25 @@ impl std::fmt::Debug for ObserverTarget {
 pub(crate) enum PredicateFn {
     /// Native predicate over the current value.
     Native(Box<dyn Fn(&Value) -> bool + Send + Sync>),
-    /// Script predicate `function(observer, value, monitor) -> bool`.
-    Script(FuncHandle),
+    /// Script predicate `function(observer, value, monitor) -> bool`,
+    /// hosted by `actor`.
+    Script {
+        actor: ScriptActor,
+        func: FuncHandle,
+    },
 }
 
 struct ObserverEntry {
     id: u64,
+    installer: String,
     target: ObserverTarget,
     event_id: String,
     predicate: PredicateFn,
+    guard: Guard,
+    /// Pending event pushes (coalesced, drop-oldest at the cap).
+    queue: VecDeque<String>,
+    /// Consecutive failed `oneway` deliveries (remote targets only).
+    push_failures: u32,
 }
 
 pub(crate) struct MonitorInner {
@@ -92,6 +121,13 @@ pub(crate) struct MonitorInner {
     notifications: AtomicU64,
     errors: AtomicU64,
     ticks: AtomicU64,
+    evictions: AtomicU64,
+    /// The most recent user-code error, with context — so operators can
+    /// see *why* `monitor.<prop>.errors` is climbing.
+    last_error: Mutex<Option<String>>,
+    /// Lazily spawned actor for remotely shipped code, running under
+    /// `SandboxPolicy::remote()` (resource limits + capability strip).
+    sandbox: Mutex<Option<ScriptActor>>,
 }
 
 /// A monitor for one observed property — `BasicMonitor`,
@@ -206,6 +242,9 @@ impl MonitorBuilder {
                 notifications: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
                 ticks: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                last_error: Mutex::new(None),
+                sandbox: Mutex::new(None),
             }),
         })
     }
@@ -264,6 +303,93 @@ impl Monitor {
         self.inner.errors.load(Ordering::Relaxed)
     }
 
+    /// Number of observers evicted after repeated failed pushes.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The most recent user-code error message (with context), if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.inner.last_error.lock().clone()
+    }
+
+    /// Number of aspects/observers currently in the penalty box.
+    pub fn quarantined_count(&self) -> usize {
+        self.inner
+            .aspects
+            .lock()
+            .iter()
+            .filter(|a| a.guard.is_quarantined())
+            .count()
+            + self
+                .inner
+                .observers
+                .lock()
+                .iter()
+                .filter(|o| o.guard.is_quarantined())
+                .count()
+    }
+
+    /// The lazily spawned actor hosting remotely shipped code, running
+    /// under [`SandboxPolicy::remote`]: step/memory/depth/deadline
+    /// limits plus the capability strip of host-escape functions.
+    pub fn sandbox_actor(&self) -> ScriptActor {
+        let mut sandbox = self.inner.sandbox.lock();
+        sandbox
+            .get_or_insert_with(|| {
+                let name = format!("{}-sandbox", self.inner.property);
+                ScriptActor::spawn(&name, |interp| {
+                    interp.set_sandbox(&SandboxPolicy::remote());
+                })
+            })
+            .clone()
+    }
+
+    /// Records an error with context for `last_error`, the error
+    /// counter, the resource-exhaustion counter and a trace event.
+    fn record_error(&self, context: &str, err: &ActorError) {
+        self.inner.errors.fetch_add(1, Ordering::Relaxed);
+        if err.is_resource_limit() {
+            adapta_telemetry::registry()
+                .counter(&format!("monitor.{}.resource_exhausted", self.property()))
+                .incr();
+        }
+        let message = format!("{context}: {err}");
+        let mut span = adapta_telemetry::Span::start("monitor.error");
+        span.attr("property", self.property());
+        span.attr("error", &message);
+        span.end();
+        *self.inner.last_error.lock() = Some(message);
+    }
+
+    /// Rejects an installer that already has too many live installs.
+    pub(crate) fn check_quota(&self, installer: &str) -> Result<(), ActorError> {
+        let live = self
+            .inner
+            .aspects
+            .lock()
+            .iter()
+            .filter(|a| a.installer == installer)
+            .count()
+            + self
+                .inner
+                .observers
+                .lock()
+                .iter()
+                .filter(|o| o.installer == installer)
+                .count();
+        if live >= MAX_INSTALLS_PER_INSTALLER {
+            adapta_telemetry::registry()
+                .counter(&format!("monitor.{}.quota_rejections", self.property()))
+                .incr();
+            return Err(ActorError::Rejected(format!(
+                "installer `{installer}` exceeded the quota of \
+                 {MAX_INSTALLS_PER_INSTALLER} installed scripts"
+            )));
+        }
+        Ok(())
+    }
+
     // ---- aspects -------------------------------------------------------
 
     /// Defines (or replaces) an aspect computed natively.
@@ -272,7 +398,7 @@ impl Monitor {
         name: impl Into<String>,
         f: impl Fn(&Value) -> Value + Send + Sync + 'static,
     ) {
-        self.put_aspect(name.into(), AspectFn::Native(Box::new(f)));
+        self.put_aspect(name.into(), "local".into(), AspectFn::Native(Box::new(f)));
     }
 
     /// Defines (or replaces) an aspect from script source — the
@@ -288,25 +414,63 @@ impl Monitor {
         name: impl Into<String>,
         code: &str,
     ) -> Result<(), ActorError> {
-        let func = self.inner.actor.store_function(code)?;
-        let self_table = self
-            .inner
-            .actor
-            .with(|interp| ScriptActor::stored_put(interp, adapta_script::Value::table()))?;
-        self.put_aspect(name.into(), AspectFn::Script { func, self_table });
+        self.install_aspect_script(self.inner.actor.clone(), "local", name.into(), code)
+    }
+
+    /// Defines an aspect from *remotely shipped* source: the code is
+    /// compiled and run in the monitor's sandboxed actor
+    /// ([`sandbox_actor`](Self::sandbox_actor)), and the installer's
+    /// quota ([`MAX_INSTALLS_PER_INSTALLER`]) is enforced first.
+    ///
+    /// # Errors
+    ///
+    /// Quota rejection or script compilation errors.
+    pub fn define_aspect_script_remote(
+        &self,
+        installer: &str,
+        name: impl Into<String>,
+        code: &str,
+    ) -> Result<(), ActorError> {
+        self.check_quota(installer)?;
+        self.install_aspect_script(self.sandbox_actor(), installer, name.into(), code)
+    }
+
+    fn install_aspect_script(
+        &self,
+        actor: ScriptActor,
+        installer: &str,
+        name: String,
+        code: &str,
+    ) -> Result<(), ActorError> {
+        let func = actor.store_function(code)?;
+        let self_table =
+            actor.with(|interp| ScriptActor::stored_put(interp, adapta_script::Value::table()))?;
+        self.put_aspect(
+            name,
+            installer.into(),
+            AspectFn::Script {
+                actor,
+                func,
+                self_table,
+            },
+        );
         Ok(())
     }
 
-    pub(crate) fn put_aspect(&self, name: String, func: AspectFn) {
+    pub(crate) fn put_aspect(&self, name: String, installer: String, func: AspectFn) {
         let mut aspects = self.inner.aspects.lock();
         if let Some(entry) = aspects.iter_mut().find(|a| a.name == name) {
             entry.func = func;
+            entry.installer = installer;
             entry.last = Value::Null;
+            entry.guard = Guard::default();
         } else {
             aspects.push(AspectEntry {
                 name,
+                installer,
                 func,
                 last: Value::Null,
+                guard: Guard::default(),
             });
         }
     }
@@ -347,7 +511,40 @@ impl Monitor {
         predicate_code: &str,
     ) -> Result<ObserverId, ActorError> {
         let func = self.inner.actor.store_function(predicate_code)?;
-        Ok(self.push_observer(target, event_id.into(), PredicateFn::Script(func)))
+        Ok(self.push_observer(
+            target,
+            event_id.into(),
+            "local".into(),
+            PredicateFn::Script {
+                actor: self.inner.actor.clone(),
+                func,
+            },
+        ))
+    }
+
+    /// Attaches an observer whose predicate arrived *over the wire*: it
+    /// is compiled and run in the monitor's sandboxed actor, and the
+    /// installer's quota is enforced first.
+    ///
+    /// # Errors
+    ///
+    /// Quota rejection or script compilation errors.
+    pub fn attach_observer_script_remote(
+        &self,
+        installer: &str,
+        target: ObserverTarget,
+        event_id: impl Into<String>,
+        predicate_code: &str,
+    ) -> Result<ObserverId, ActorError> {
+        self.check_quota(installer)?;
+        let actor = self.sandbox_actor();
+        let func = actor.store_function(predicate_code)?;
+        Ok(self.push_observer(
+            target,
+            event_id.into(),
+            installer.into(),
+            PredicateFn::Script { actor, func },
+        ))
     }
 
     /// Attaches an observer with a native predicate.
@@ -360,6 +557,7 @@ impl Monitor {
         self.push_observer(
             target,
             event_id.into(),
+            "local".into(),
             PredicateFn::Native(Box::new(predicate)),
         )
     }
@@ -368,14 +566,19 @@ impl Monitor {
         &self,
         target: ObserverTarget,
         event_id: String,
+        installer: String,
         predicate: PredicateFn,
     ) -> ObserverId {
         let id = self.inner.next_observer.fetch_add(1, Ordering::Relaxed);
         self.inner.observers.lock().push(ObserverEntry {
             id,
+            installer,
             target,
             event_id,
             predicate,
+            guard: Guard::default(),
+            queue: VecDeque::new(),
+            push_failures: 0,
         });
         ObserverId(id)
     }
@@ -421,6 +624,9 @@ impl Monitor {
                 .counter(&format!("monitor.{}.errors", self.property()))
                 .add(new_errors);
         }
+        registry
+            .gauge(&format!("monitor.{}.quarantined.active", self.property()))
+            .set(self.quarantined_count() as i64);
     }
 
     fn refresh_value(&self, now: SimTime) {
@@ -445,11 +651,16 @@ impl Monitor {
                 Ok(values) => {
                     *self.inner.value.lock() = values.into_iter().next().unwrap_or(Value::Null);
                 }
-                Err(_) => {
-                    self.inner.errors.fetch_add(1, Ordering::Relaxed);
-                }
+                Err(e) => self.record_error("value source", &e),
             },
         }
+    }
+
+    /// Bumps a `monitor.<prop>.<suffix>` counter.
+    fn counter(&self, suffix: &str) {
+        adapta_telemetry::registry()
+            .counter(&format!("monitor.{}.{suffix}", self.property()))
+            .incr();
     }
 
     fn refresh_aspects(&self) {
@@ -459,16 +670,33 @@ impl Monitor {
             // actor calls (facade natives re-enter these mutexes).
             enum Plan {
                 Native(Value),
-                Script(FuncHandle, FuncHandle),
+                Script(ScriptActor, FuncHandle, FuncHandle, String),
                 Gone,
             }
             let current = self.value();
             let plan = {
-                let aspects = self.inner.aspects.lock();
-                match aspects.iter().find(|a| a.name == name) {
-                    Some(entry) => match &entry.func {
-                        AspectFn::Native(f) => Plan::Native(f(&current)),
-                        AspectFn::Script { func, self_table } => Plan::Script(*func, *self_table),
+                let mut aspects = self.inner.aspects.lock();
+                match aspects.iter_mut().find(|a| a.name == name) {
+                    Some(entry) => match entry.guard.admit() {
+                        Admit::Skip => continue,
+                        admit => {
+                            if admit == Admit::Probe {
+                                self.counter("quarantined.probes");
+                            }
+                            match &entry.func {
+                                AspectFn::Native(f) => Plan::Native(f(&current)),
+                                AspectFn::Script {
+                                    actor,
+                                    func,
+                                    self_table,
+                                } => Plan::Script(
+                                    actor.clone(),
+                                    *func,
+                                    *self_table,
+                                    entry.installer.clone(),
+                                ),
+                            }
+                        }
                     },
                     None => Plan::Gone,
                 }
@@ -476,28 +704,40 @@ impl Monitor {
             let result = match plan {
                 Plan::Gone => continue,
                 Plan::Native(v) => Some(v),
-                Plan::Script(func, self_table) => {
+                Plan::Script(actor, func, self_table, installer) => {
                     let monitor = self.clone();
-                    let out = self.inner.actor.call_with(func, move |interp| {
+                    let facade_actor = actor.clone();
+                    let out = actor.call_with(func, move |interp| {
                         let self_arg = ScriptActor::stored_get(interp, self_table)
                             .unwrap_or(adapta_script::Value::Nil);
                         let currval = adapta_bridge::from_wire(&monitor.value());
-                        let facade = facade::monitor_facade(interp, &monitor);
+                        let facade =
+                            facade::monitor_facade(interp, &monitor, &facade_actor, &installer);
                         vec![self_arg, currval, facade]
                     });
                     match out {
                         Ok(values) => Some(values.into_iter().next().unwrap_or(Value::Null)),
-                        Err(_) => {
-                            self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                        Err(e) => {
+                            self.record_error(&format!("aspect `{name}`"), &e);
                             None
                         }
                     }
                 }
             };
-            if let Some(v) = result {
-                let mut aspects = self.inner.aspects.lock();
-                if let Some(entry) = aspects.iter_mut().find(|a| a.name == name) {
-                    entry.last = v;
+            let mut aspects = self.inner.aspects.lock();
+            if let Some(entry) = aspects.iter_mut().find(|a| a.name == name) {
+                match result {
+                    Some(v) => {
+                        entry.last = v;
+                        if entry.guard.on_success() {
+                            self.counter("quarantined.readmitted");
+                        }
+                    }
+                    None => {
+                        if entry.guard.on_failure() {
+                            self.counter("quarantined.entries");
+                        }
+                    }
                 }
             }
         }
@@ -508,24 +748,34 @@ impl Monitor {
         for id in ids {
             enum Plan {
                 Native(bool),
-                Script(FuncHandle),
+                Script(ScriptActor, FuncHandle, String),
                 Gone,
             }
             let current = self.value();
             let plan = {
-                let observers = self.inner.observers.lock();
-                match observers.iter().find(|o| o.id == id) {
-                    Some(entry) => match &entry.predicate {
-                        PredicateFn::Native(f) => Plan::Native(f(&current)),
-                        PredicateFn::Script(h) => Plan::Script(*h),
+                let mut observers = self.inner.observers.lock();
+                match observers.iter_mut().find(|o| o.id == id) {
+                    Some(entry) => match entry.guard.admit() {
+                        Admit::Skip => continue,
+                        admit => {
+                            if admit == Admit::Probe {
+                                self.counter("quarantined.probes");
+                            }
+                            match &entry.predicate {
+                                PredicateFn::Native(f) => Plan::Native(f(&current)),
+                                PredicateFn::Script { actor, func } => {
+                                    Plan::Script(actor.clone(), *func, entry.installer.clone())
+                                }
+                            }
+                        }
                     },
                     None => Plan::Gone,
                 }
             };
             let fired = match plan {
                 Plan::Gone => continue,
-                Plan::Native(b) => b,
-                Plan::Script(h) => {
+                Plan::Native(b) => Some(b),
+                Plan::Script(actor, h, installer) => {
                     let monitor = self.clone();
                     let observer_arg = {
                         let observers = self.inner.observers.lock();
@@ -536,7 +786,8 @@ impl Monitor {
                             None => continue,
                         }
                     };
-                    let out = self.inner.actor.call_with(h, move |interp| {
+                    let facade_actor = actor.clone();
+                    let out = actor.call_with(h, move |interp| {
                         let obs = match observer_arg {
                             ObserverArg::Remote(r) => adapta_bridge::from_wire(&Value::ObjRef(r)),
                             ObserverArg::Local(h) => ScriptActor::stored_get(interp, h)
@@ -544,78 +795,143 @@ impl Monitor {
                             ObserverArg::None => adapta_script::Value::Nil,
                         };
                         let currval = adapta_bridge::from_wire(&monitor.value());
-                        let facade = facade::monitor_facade(interp, &monitor);
+                        let facade =
+                            facade::monitor_facade(interp, &monitor, &facade_actor, &installer);
                         vec![obs, currval, facade]
                     });
                     match out {
-                        Ok(values) => values
-                            .first()
-                            .map(|v| !matches!(v, Value::Null | Value::Bool(false)))
-                            .unwrap_or(false),
-                        Err(_) => {
-                            self.inner.errors.fetch_add(1, Ordering::Relaxed);
-                            false
+                        Ok(values) => Some(
+                            values
+                                .first()
+                                .map(|v| !matches!(v, Value::Null | Value::Bool(false)))
+                                .unwrap_or(false),
+                        ),
+                        Err(e) => {
+                            self.record_error(&format!("observer {id} predicate"), &e);
+                            None
                         }
                     }
                 }
             };
-            if fired {
-                self.notify(id);
+            let mut observers = self.inner.observers.lock();
+            if let Some(entry) = observers.iter_mut().find(|o| o.id == id) {
+                match fired {
+                    Some(fired) => {
+                        if entry.guard.on_success() {
+                            self.counter("quarantined.readmitted");
+                        }
+                        if fired {
+                            self.enqueue_push(entry);
+                        }
+                    }
+                    None => {
+                        if entry.guard.on_failure() {
+                            self.counter("quarantined.entries");
+                        }
+                    }
+                }
             }
         }
+        self.flush_pushes();
     }
 
-    /// Delivers `notifyEvent` to the observer `id`.
-    fn notify(&self, id: u64) {
-        enum Delivery {
-            Remote(ObjRef, String),
-            Local(FuncHandle, String),
-            Callback(Arc<dyn Fn(&str) + Send + Sync>, String),
+    /// Queues one `notifyEvent` for the observer, coalescing a
+    /// back-to-back duplicate and dropping the oldest entry at the cap.
+    fn enqueue_push(&self, entry: &mut ObserverEntry) {
+        if entry.queue.back() == Some(&entry.event_id) {
+            self.counter("push.coalesced");
+            return;
         }
-        let delivery = {
-            let observers = self.inner.observers.lock();
-            let Some(entry) = observers.iter().find(|o| o.id == id) else {
-                return;
+        if entry.queue.len() >= OBSERVER_QUEUE_CAP {
+            entry.queue.pop_front();
+            self.counter("push.dropped");
+        }
+        entry.queue.push_back(entry.event_id.clone());
+    }
+
+    /// Drains every observer's pending-push queue, delivering each
+    /// event. Remote observers that keep failing their `oneway` push
+    /// ([`EVICT_AFTER_FAILED_PUSHES`] in a row) are evicted.
+    fn flush_pushes(&self) {
+        enum Delivery {
+            Remote(ObjRef),
+            Local(FuncHandle),
+            Callback(Arc<dyn Fn(&str) + Send + Sync>),
+        }
+        let ids: Vec<u64> = self.inner.observers.lock().iter().map(|o| o.id).collect();
+        for id in ids {
+            let (delivery, pending) = {
+                let mut observers = self.inner.observers.lock();
+                let Some(entry) = observers.iter_mut().find(|o| o.id == id) else {
+                    continue;
+                };
+                if entry.queue.is_empty() {
+                    continue;
+                }
+                let delivery = match &entry.target {
+                    ObserverTarget::Remote(r) => Delivery::Remote(r.clone()),
+                    ObserverTarget::Local(h) => Delivery::Local(*h),
+                    ObserverTarget::Callback(f) => Delivery::Callback(f.clone()),
+                };
+                (delivery, std::mem::take(&mut entry.queue))
             };
-            match &entry.target {
-                ObserverTarget::Remote(r) => Delivery::Remote(r.clone(), entry.event_id.clone()),
-                ObserverTarget::Local(h) => Delivery::Local(*h, entry.event_id.clone()),
-                ObserverTarget::Callback(f) => {
-                    Delivery::Callback(f.clone(), entry.event_id.clone())
-                }
-            }
-        };
-        self.inner.notifications.fetch_add(1, Ordering::Relaxed);
-        match delivery {
-            Delivery::Remote(target, event_id) => {
-                if self
-                    .inner
-                    .orb
-                    .invoke_oneway_ref(&target, "notifyEvent", vec![Value::from(event_id)])
-                    .is_err()
-                {
+            for event_id in pending {
+                let pushed = match &delivery {
+                    Delivery::Remote(target) => self
+                        .inner
+                        .orb
+                        .invoke_oneway_ref(target, "notifyEvent", vec![Value::from(&*event_id)])
+                        .is_ok(),
+                    Delivery::Local(h) => {
+                        let h = *h;
+                        let out = self.inner.actor.with(move |interp| {
+                            let Some(table) = ScriptActor::stored_get(interp, h) else {
+                                return Err(ActorError::UnknownFunction(0));
+                            };
+                            let method = table
+                                .as_table()
+                                .map(|t| t.borrow().get_str("notifyEvent"))
+                                .unwrap_or(adapta_script::Value::Nil);
+                            interp
+                                .call(&method, vec![table, adapta_script::Value::str(&event_id)])
+                                .map(|_| ())
+                                .map_err(ActorError::from)
+                        });
+                        matches!(out, Ok(Ok(())))
+                    }
+                    Delivery::Callback(f) => {
+                        f(&event_id);
+                        true
+                    }
+                };
+                if pushed {
+                    self.inner.notifications.fetch_add(1, Ordering::Relaxed);
+                } else {
                     self.inner.errors.fetch_add(1, Ordering::Relaxed);
                 }
-            }
-            Delivery::Local(h, event_id) => {
-                let out = self.inner.actor.with(move |interp| {
-                    let Some(table) = ScriptActor::stored_get(interp, h) else {
-                        return Err(ActorError::UnknownFunction(0));
-                    };
-                    let method = table
-                        .as_table()
-                        .map(|t| t.borrow().get_str("notifyEvent"))
-                        .unwrap_or(adapta_script::Value::Nil);
-                    interp
-                        .call(&method, vec![table, adapta_script::Value::str(&event_id)])
-                        .map(|_| ())
-                        .map_err(ActorError::from)
-                });
-                if !matches!(out, Ok(Ok(()))) {
-                    self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                let remote = matches!(delivery, Delivery::Remote(_));
+                if remote {
+                    let mut observers = self.inner.observers.lock();
+                    if let Some(entry) = observers.iter_mut().find(|o| o.id == id) {
+                        if pushed {
+                            entry.push_failures = 0;
+                        } else {
+                            entry.push_failures += 1;
+                            if entry.push_failures >= EVICT_AFTER_FAILED_PUSHES {
+                                observers.retain(|o| o.id != id);
+                                drop(observers);
+                                self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                                self.counter("observers.evicted");
+                                *self.inner.last_error.lock() = Some(format!(
+                                    "observer {id}: evicted after \
+                                     {EVICT_AFTER_FAILED_PUSHES} failed pushes"
+                                ));
+                                break;
+                            }
+                        }
+                    }
                 }
             }
-            Delivery::Callback(f, event_id) => f(&event_id),
         }
     }
 }
@@ -892,5 +1208,164 @@ mod tests {
             .source_script("not valid lua ((")
             .build(&actor, &orb)
             .is_err());
+    }
+
+    #[test]
+    fn failing_aspect_is_quarantined_then_probed() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Q")
+            .source_native(|_| Value::from(1.0))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.define_aspect_script("Bad", "function(s, v, m) error('nope') end")
+            .unwrap();
+        mon.define_aspect_native("Good", |v| v.clone());
+        for _ in 0..crate::guard::QUARANTINE_THRESHOLD {
+            mon.tick(SimTime::ZERO);
+        }
+        assert_eq!(mon.errors(), u64::from(crate::guard::QUARANTINE_THRESHOLD));
+        assert_eq!(mon.quarantined_count(), 1);
+        assert!(mon.last_error().unwrap().contains("aspect `Bad`"));
+        // While quarantined the bad aspect costs nothing: no new errors,
+        // and the healthy aspect keeps updating.
+        for _ in 0..crate::guard::QUARANTINE_BASE_TICKS {
+            mon.tick(SimTime::ZERO);
+        }
+        assert_eq!(mon.errors(), u64::from(crate::guard::QUARANTINE_THRESHOLD));
+        assert_eq!(mon.aspect_value("Good"), Some(Value::from(1.0)));
+        // Penalty expired: the next tick probes (one more error).
+        mon.tick(SimTime::ZERO);
+        assert_eq!(
+            mon.errors(),
+            u64::from(crate::guard::QUARANTINE_THRESHOLD) + 1
+        );
+        assert_eq!(mon.quarantined_count(), 1, "failed probe re-quarantines");
+    }
+
+    #[test]
+    fn probe_success_readmits_the_entry() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("R")
+            .source_native(|_| Value::from(1.0))
+            .build(&actor, &orb)
+            .unwrap();
+        // Fails while a flag is set, then recovers.
+        actor.eval("flaky = true").unwrap();
+        mon.define_aspect_script(
+            "Flaky",
+            "function(s, v, m) if flaky then error('down') end return 'ok' end",
+        )
+        .unwrap();
+        for _ in 0..crate::guard::QUARANTINE_THRESHOLD {
+            mon.tick(SimTime::ZERO);
+        }
+        assert_eq!(mon.quarantined_count(), 1);
+        actor.eval("flaky = false").unwrap();
+        for _ in 0..=crate::guard::QUARANTINE_BASE_TICKS {
+            mon.tick(SimTime::ZERO);
+        }
+        assert_eq!(mon.quarantined_count(), 0, "successful probe readmits");
+        assert_eq!(mon.aspect_value("Flaky"), Some(Value::from("ok")));
+    }
+
+    #[test]
+    fn remote_installer_quota_is_enforced() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Quota")
+            .source_native(|_| Value::from(1.0))
+            .build(&actor, &orb)
+            .unwrap();
+        for i in 0..MAX_INSTALLS_PER_INSTALLER {
+            mon.define_aspect_script_remote(
+                "evil",
+                format!("A{i}"),
+                "function(s, v, m) return 1 end",
+            )
+            .unwrap();
+        }
+        let over =
+            mon.define_aspect_script_remote("evil", "A-over", "function(s, v, m) return 1 end");
+        assert!(matches!(over, Err(ActorError::Rejected(_))), "{over:?}");
+        // A different installer is unaffected.
+        mon.define_aspect_script_remote("honest", "B0", "function(s, v, m) return 2 end")
+            .unwrap();
+    }
+
+    #[test]
+    fn runaway_remote_predicate_is_stopped_and_quarantined() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Hostile")
+            .source_native(|_| Value::from(99.0))
+            .build(&actor, &orb)
+            .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired_clone = fired.clone();
+        mon.attach_observer_native(
+            ObserverTarget::Callback(Arc::new(move |_| {
+                fired_clone.fetch_add(1, Ordering::Relaxed);
+            })),
+            "Healthy",
+            |v| v.as_double().unwrap_or(0.0) > 50.0,
+        );
+        // Infinite loop, shipped remotely: the sandbox budget stops it.
+        mon.attach_observer_script_remote(
+            "evil",
+            ObserverTarget::Callback(Arc::new(|_| {})),
+            "Spin",
+            "function(o, v, m) while true do end end",
+        )
+        .unwrap();
+        for _ in 0..4 {
+            mon.tick(SimTime::ZERO);
+        }
+        // The hostile predicate errored until quarantined; the healthy
+        // observer fired every tick regardless.
+        assert_eq!(fired.load(Ordering::Relaxed), 4);
+        assert_eq!(mon.errors(), u64::from(crate::guard::QUARANTINE_THRESHOLD));
+        assert_eq!(mon.quarantined_count(), 1);
+        assert!(
+            mon.last_error().unwrap().contains("budget"),
+            "{:?}",
+            mon.last_error()
+        );
+    }
+
+    #[test]
+    fn remote_code_cannot_reach_host_escapes() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Caps")
+            .source_native(|_| Value::from(1.0))
+            .build(&actor, &orb)
+            .unwrap();
+        mon.define_aspect_script_remote(
+            "evil",
+            "Escape",
+            "function(s, v, m) return readfrom('/etc/passwd') end",
+        )
+        .unwrap();
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.errors(), 1);
+        assert!(mon.last_error().unwrap().contains("Escape"));
+    }
+
+    #[test]
+    fn unreachable_remote_observer_is_evicted() {
+        let (orb, actor) = setup();
+        let mon = Monitor::builder("Evict")
+            .source_native(|_| Value::from(99.0))
+            .build(&actor, &orb)
+            .unwrap();
+        let gone = adapta_idl::ObjRefData::new("inproc://nowhere", "obs", "EventObserver");
+        mon.attach_observer_native(ObserverTarget::Remote(gone), "E", |_| true);
+        for _ in 0..EVICT_AFTER_FAILED_PUSHES {
+            mon.tick(SimTime::ZERO);
+        }
+        assert_eq!(mon.evictions(), 1);
+        assert_eq!(mon.observer_count(), 0);
+        assert!(mon.last_error().unwrap().contains("evicted"));
+        // Further ticks are clean.
+        let errors = mon.errors();
+        mon.tick(SimTime::ZERO);
+        assert_eq!(mon.errors(), errors);
     }
 }

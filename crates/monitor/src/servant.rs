@@ -74,8 +74,10 @@ impl Servant for MonitorServant {
             "defineAspect" => {
                 let name = str_arg(&args, 0, "defineAspect")?;
                 let code = str_arg(&args, 1, "defineAspect")?;
+                // Shipped code: run it in the sandboxed actor, charged
+                // to the remote installer's quota.
                 self.monitor
-                    .define_aspect_script(name, &code)
+                    .define_aspect_script_remote("remote", name, &code)
                     .map_err(|e| OrbError::exception(e.to_string()))?;
                 Ok(Value::Null)
             }
@@ -91,9 +93,17 @@ impl Servant for MonitorServant {
                     })?;
                 let event_id = str_arg(&args, 1, "attachEventObserver")?;
                 let code = str_arg(&args, 2, "attachEventObserver")?;
+                // Quota installs by the observer's node so one pushy
+                // client cannot crowd out the others.
+                let installer = observer.endpoint.clone();
                 let id = self
                     .monitor
-                    .attach_observer_script(ObserverTarget::Remote(observer), event_id, &code)
+                    .attach_observer_script_remote(
+                        &installer,
+                        ObserverTarget::Remote(observer),
+                        event_id,
+                        &code,
+                    )
                     .map_err(|e| OrbError::exception(e.to_string()))?;
                 Ok(Value::Long(id.0 as i64))
             }

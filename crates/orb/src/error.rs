@@ -46,6 +46,11 @@ pub enum OrbError {
     ///
     /// [`Orb::shutdown`]: crate::Orb::shutdown
     ShuttingDown,
+    /// The server shed the request before executing it: its pending-job
+    /// queue or global in-flight cap was full (see
+    /// [`OrbOptions`](crate::OrbOptions)). The call never started, so
+    /// retrying (with backoff) is always safe.
+    TransientOverload,
 }
 
 impl OrbError {
@@ -71,8 +76,9 @@ impl OrbError {
     /// * **retryable** — the failure is environmental and at-most-once
     ///   delivery was not compromised in a way the caller can detect:
     ///   transport faults, unreachable nodes, missing servants (the
-    ///   component moved or crashed), expired deadlines, and nodes that
-    ///   refused the request because they are shutting down;
+    ///   component moved or crashed), expired deadlines, nodes that
+    ///   refused the request because they are shutting down, and
+    ///   requests shed by an overloaded server before execution;
     /// * **not retryable** — the request itself is bad (IDL or
     ///   marshalling errors, unresolved names) or the servant *executed*
     ///   and raised an application exception: reissuing would either fail
@@ -85,6 +91,7 @@ impl OrbError {
                 | OrbError::ObjectNotFound { .. }
                 | OrbError::DeadlineExpired { .. }
                 | OrbError::ShuttingDown
+                | OrbError::TransientOverload
         )
     }
 }
@@ -107,6 +114,7 @@ impl fmt::Display for OrbError {
             }
             OrbError::NameNotFound { name } => write!(f, "name `{name}` not bound"),
             OrbError::ShuttingDown => write!(f, "orb is shutting down"),
+            OrbError::TransientOverload => write!(f, "server overloaded; retry later"),
         }
     }
 }
@@ -156,6 +164,7 @@ mod tests {
         }
         .is_retryable());
         assert!(OrbError::ShuttingDown.is_retryable());
+        assert!(OrbError::TransientOverload.is_retryable());
 
         assert!(!OrbError::exception("app failed").is_retryable());
         assert!(!OrbError::Marshal("bad tag".into()).is_retryable());

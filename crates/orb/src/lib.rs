@@ -71,7 +71,7 @@ pub use interceptor::{
 };
 pub use marshal::{decode_value, encode_value};
 pub use message::{Message, ReplyBody, RequestBody, ServiceContext};
-pub use orb::{InvokeOptions, Orb, OrbStats};
+pub use orb::{InvokeOptions, Orb, OrbOptions, OrbStats};
 pub use proxy::{Proxy, Request};
 pub use reference::ObjRef;
 pub use telemetry_servant::TelemetryServant;

@@ -153,6 +153,75 @@ impl InvokeOptions {
     }
 }
 
+/// Node-level tuning knobs, fixed at construction
+/// ([`Orb::with_options`]). [`Orb::new`] uses the defaults.
+///
+/// The three admission-control bounds protect a server from request
+/// storms: work beyond them is *shed* with the retryable
+/// [`OrbError::TransientOverload`] instead of queueing without limit,
+/// so well-behaved clients (smart-proxy retry with backoff) absorb the
+/// pushback while the server keeps serving at its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrbOptions {
+    /// Maximum dispatch workers per server-side TCP connection
+    /// (default 32). Above it, accepted jobs wait in the connection's
+    /// queue.
+    pub max_conn_workers: usize,
+    /// Bound on each server-side TCP connection's pending-job queue
+    /// (default 256). Jobs arriving beyond it are shed.
+    pub max_conn_queue: usize,
+    /// Global cap on dispatches executing or queued node-wide, across
+    /// all transports (default 4096). Admissions beyond it are shed.
+    pub max_inflight: u64,
+}
+
+impl Default for OrbOptions {
+    fn default() -> Self {
+        OrbOptions {
+            max_conn_workers: 32,
+            max_conn_queue: 256,
+            max_inflight: 4096,
+        }
+    }
+}
+
+impl OrbOptions {
+    /// Options with every field at its default.
+    pub fn new() -> OrbOptions {
+        OrbOptions::default()
+    }
+
+    /// Sets the per-connection worker cap.
+    pub fn max_conn_workers(mut self, n: usize) -> OrbOptions {
+        self.max_conn_workers = n.max(1);
+        self
+    }
+
+    /// Sets the per-connection pending-job queue bound.
+    pub fn max_conn_queue(mut self, n: usize) -> OrbOptions {
+        self.max_conn_queue = n.max(1);
+        self
+    }
+
+    /// Sets the node-wide in-flight dispatch cap.
+    pub fn max_inflight(mut self, n: u64) -> OrbOptions {
+        self.max_inflight = n.max(1);
+        self
+    }
+}
+
+/// What the node decided about one inbound dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DispatchDecision {
+    /// Admitted; the caller must pair it with `end_dispatch`.
+    Admitted,
+    /// Refused: the node is draining ([`OrbError::ShuttingDown`]).
+    ShuttingDown,
+    /// Shed: the node-wide in-flight cap is full
+    /// ([`OrbError::TransientOverload`]).
+    Overloaded,
+}
+
 /// The node's lifecycle, driving [`Orb::shutdown`].
 ///
 /// `RUNNING → DRAINING → STOPPED`, one way only. DRAINING refuses new
@@ -199,6 +268,7 @@ pub(crate) struct OrbCore {
     faults: Arc<FaultPlan>,
     lifecycle: Lifecycle,
     shutdown_hooks: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
+    pub(crate) options: OrbOptions,
 }
 
 impl std::fmt::Debug for OrbCore {
@@ -211,21 +281,30 @@ impl std::fmt::Debug for OrbCore {
 }
 
 impl OrbCore {
-    /// Admits one inbound dispatch. Returns `false` (after undoing the
-    /// reservation) when the node no longer accepts requests; the
-    /// transport must then answer with [`OrbError::ShuttingDown`].
+    /// Admits one inbound dispatch, or refuses it (after undoing the
+    /// reservation) when the node is draining or its in-flight cap is
+    /// full; the transport answers a refusal with the matching
+    /// retryable error ([`OrbError::ShuttingDown`] /
+    /// [`OrbError::TransientOverload`]).
     ///
     /// The count is raised *before* re-checking the state so a
     /// concurrent [`Orb::shutdown`] either sees this dispatch in the
     /// inflight count or this dispatch sees the drained state — never
     /// neither.
-    pub(crate) fn begin_dispatch(&self) -> bool {
-        self.lifecycle.inflight.fetch_add(1, Ordering::AcqRel);
+    pub(crate) fn begin_dispatch(&self) -> DispatchDecision {
+        let prior = self.lifecycle.inflight.fetch_add(1, Ordering::AcqRel);
         if self.lifecycle.state.load(Ordering::Acquire) != LIFECYCLE_RUNNING {
             self.end_dispatch();
-            return false;
+            return DispatchDecision::ShuttingDown;
         }
-        true
+        if prior >= self.options.max_inflight {
+            self.end_dispatch();
+            registry()
+                .counter(&format!("orb.{}.shed", self.node))
+                .incr();
+            return DispatchDecision::Overloaded;
+        }
+        DispatchDecision::Admitted
     }
 
     /// Retires one dispatch admitted by [`begin_dispatch`]; called only
@@ -377,7 +456,9 @@ impl OrbCore {
     /// accepted ones count as in-flight until served, so
     /// [`Orb::shutdown`] drains the oneway queue too.
     fn enqueue_oneway(self: &Arc<Self>, body: RequestBody) {
-        if !self.begin_dispatch() {
+        // Oneways are fire-and-forget: a refusal (draining or overload)
+        // silently discards; the overload shed is counted either way.
+        if self.begin_dispatch() != DispatchDecision::Admitted {
             return;
         }
         if self.sync_oneway.load(Ordering::Relaxed) {
@@ -425,6 +506,12 @@ impl Orb {
     /// process, a numeric suffix is appended (check
     /// [`node_name`](Self::node_name) for the actual name).
     pub fn new(node: &str) -> Orb {
+        Orb::with_options(node, OrbOptions::default())
+    }
+
+    /// Creates a broker node with explicit [`OrbOptions`] (admission
+    /// bounds, per-connection worker cap).
+    pub fn with_options(node: &str, options: OrbOptions) -> Orb {
         let mut registry = nodes().lock().unwrap_or_else(|e| e.into_inner());
         let mut name = node.to_owned();
         let mut n = 1;
@@ -446,6 +533,7 @@ impl Orb {
             faults: Arc::new(FaultPlan::for_node(&name)),
             lifecycle: Lifecycle::new(),
             shutdown_hooks: Mutex::new(Vec::new()),
+            options,
         });
         registry.insert(name, Arc::downgrade(&core));
         drop(registry);
@@ -476,6 +564,11 @@ impl Orb {
     /// The node's actual (unique) name.
     pub fn node_name(&self) -> &str {
         &self.core.node
+    }
+
+    /// The options this node was built with.
+    pub fn options(&self) -> OrbOptions {
+        self.core.options
     }
 
     /// The preferred endpoint for references exported by this node:
@@ -908,6 +1001,9 @@ impl Orb {
         if message.starts_with("orb is shutting down") {
             return OrbError::ShuttingDown;
         }
+        if message.starts_with("server overloaded") {
+            return OrbError::TransientOverload;
+        }
         OrbError::RemoteException { message }
     }
 
@@ -940,8 +1036,10 @@ impl Orb {
             let decoded = Message::decode(&bytes)?;
             match decoded {
                 Message::Request(body) => {
-                    if !peer.begin_dispatch() {
-                        return Err(OrbError::ShuttingDown);
+                    match peer.begin_dispatch() {
+                        DispatchDecision::Admitted => {}
+                        DispatchDecision::ShuttingDown => return Err(OrbError::ShuttingDown),
+                        DispatchDecision::Overloaded => return Err(OrbError::TransientOverload),
                     }
                     let reply = peer.serve(body);
                     let reply_bytes = Message::Reply(reply).encode();
@@ -1085,6 +1183,53 @@ mod tests {
             client.invoke_ref(&target, "op", vec![]),
             Err(OrbError::NodeUnreachable { .. })
         ));
+    }
+
+    #[test]
+    fn inflight_cap_sheds_with_transient_overload() {
+        let server = Orb::with_options("t-orb-shed", OrbOptions::new().max_inflight(1));
+        let (block_tx, block_rx) = crossbeam::channel::bounded::<()>(0);
+        let (entered_tx, entered_rx) = crossbeam::channel::bounded::<()>(1);
+        let block_rx = StdMutex::new(block_rx);
+        let entered_tx = StdMutex::new(entered_tx);
+        let objref = server
+            .activate(
+                "slow",
+                ServantFn::new("Slow", move |_, _| {
+                    let _ = entered_tx.lock().unwrap().send(());
+                    let _ = block_rx.lock().unwrap().recv();
+                    Ok(Value::Null)
+                }),
+            )
+            .unwrap();
+        let client = Orb::new("t-orb-shed-client");
+        let occupant = {
+            let client = client.clone();
+            let objref = objref.clone();
+            std::thread::spawn(move || client.invoke_ref(&objref, "block", vec![]))
+        };
+        entered_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("first call reached the servant");
+        // The single in-flight slot is taken: the next call is shed
+        // with a retryable error, before reaching the servant.
+        let err = client.invoke_ref(&objref, "block", vec![]).unwrap_err();
+        assert_eq!(err, OrbError::TransientOverload);
+        assert!(err.is_retryable());
+        block_tx.send(()).unwrap();
+        occupant.join().unwrap().unwrap();
+        // With the slot free again the server admits requests (the
+        // servant blocks on `block_rx`, which `block_tx` still feeds).
+        let snapshot = adapta_telemetry::registry().snapshot();
+        assert!(snapshot.counter("orb.t-orb-shed.shed").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn overload_error_survives_the_wire_revival() {
+        assert_eq!(
+            Orb::revive_error(OrbError::TransientOverload.to_string()),
+            OrbError::TransientOverload
+        );
     }
 
     #[test]

@@ -49,9 +49,6 @@ const MAX_FRAME: u32 = 64 * 1024 * 1024;
 /// a pacing knob; override it per call with `InvokeOptions`.
 pub(crate) const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
 
-/// Maximum dispatch workers per server-side connection.
-const MAX_CONN_WORKERS: usize = 32;
-
 /// Pause after a transient accept failure (`EMFILE`, `ECONNABORTED`…)
 /// before retrying, so a file-descriptor storm cannot spin the loop.
 const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(20);
@@ -156,6 +153,12 @@ fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
     let rx = Arc::new(Mutex::new(rx));
     let workers = Arc::new(AtomicUsize::new(0));
     let idle = Arc::new(AtomicUsize::new(0));
+    // Jobs accepted but not yet picked up by a worker; bounding it (per
+    // `OrbOptions::max_conn_queue`) is what keeps a request storm from
+    // queueing without limit behind slow servants.
+    let queued = Arc::new(AtomicUsize::new(0));
+    let mut depth_gauge: Option<Gauge> = None;
+    let mut shed_counter = None;
     loop {
         let Ok(Some(body)) = read_frame(&mut stream) else {
             return; // worker channel closes with `tx`, draining the pool
@@ -170,14 +173,18 @@ fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
             Message::Oneway(req) => (req, false),
             Message::Reply(_) => return, // clients never push replies
         };
-        // A draining node refuses the dispatch up front, waking the
-        // caller with a retryable error instead of letting it block
-        // until its deadline.
-        if !core.begin_dispatch() {
+        // Shed before admission when this connection's queue is full:
+        // the job never starts, so the error is retryable.
+        if queued.load(Ordering::Acquire) >= core.options.max_conn_queue {
+            shed_counter
+                .get_or_insert_with(|| {
+                    registry().counter(&format!("orb.{}.tcp.server.shed", core.node))
+                })
+                .incr();
             if job.1 {
                 let reply = Message::Reply(ReplyBody {
                     id: job.0.id,
-                    outcome: Err(OrbError::ShuttingDown.to_string()),
+                    outcome: Err(OrbError::TransientOverload.to_string()),
                 })
                 .encode();
                 core.count_bytes_out(4 + reply.len());
@@ -187,6 +194,32 @@ fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
             }
             continue;
         }
+        // A draining or node-wide-overloaded orb refuses the dispatch
+        // up front, waking the caller with a retryable error instead of
+        // letting it block until its deadline.
+        let refusal = match core.begin_dispatch() {
+            crate::orb::DispatchDecision::Admitted => None,
+            crate::orb::DispatchDecision::ShuttingDown => Some(OrbError::ShuttingDown),
+            crate::orb::DispatchDecision::Overloaded => Some(OrbError::TransientOverload),
+        };
+        if let Some(err) = refusal {
+            if job.1 {
+                let reply = Message::Reply(ReplyBody {
+                    id: job.0.id,
+                    outcome: Err(err.to_string()),
+                })
+                .encode();
+                core.count_bytes_out(4 + reply.len());
+                if write_frame(&mut writer.lock(), &reply).is_err() {
+                    return;
+                }
+            }
+            continue;
+        }
+        let max_workers = core.options.max_conn_workers;
+        let gauge = depth_gauge.get_or_insert_with(|| {
+            registry().gauge(&format!("orb.{}.tcp.server.queue_depth", core.node))
+        });
         drop(core);
         // Reserve a waiting worker for this job, or grow the pool; only
         // this dispatcher decrements `idle`, and a worker re-enters it
@@ -197,7 +230,7 @@ fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
         // connection. At the worker cap the job simply queues.
         if idle.load(Ordering::Acquire) > 0 {
             idle.fetch_sub(1, Ordering::AcqRel);
-        } else if workers.load(Ordering::Acquire) < MAX_CONN_WORKERS {
+        } else if workers.load(Ordering::Acquire) < max_workers {
             workers.fetch_add(1, Ordering::AcqRel);
             spawn_conn_worker(
                 rx.clone(),
@@ -205,8 +238,11 @@ fn serve_connection(mut stream: TcpStream, weak: Weak<OrbCore>) {
                 weak.clone(),
                 workers.clone(),
                 idle.clone(),
+                queued.clone(),
             );
         }
+        queued.fetch_add(1, Ordering::AcqRel);
+        gauge.add(1);
         if tx.send(job).is_err() {
             return;
         }
@@ -219,6 +255,7 @@ fn spawn_conn_worker(
     weak: Weak<OrbCore>,
     workers: Arc<AtomicUsize>,
     idle: Arc<AtomicUsize>,
+    queued: Arc<AtomicUsize>,
 ) {
     let workers_for_thread = workers.clone();
     let spawned = std::thread::Builder::new()
@@ -226,6 +263,7 @@ fn spawn_conn_worker(
         .spawn(move || {
             let workers = workers_for_thread;
             let mut inflight: Option<Gauge> = None;
+            let mut depth: Option<Gauge> = None;
             loop {
                 // The dispatcher already accounted for this worker —
                 // either by spawning it for the job or by reserving it
@@ -234,6 +272,12 @@ fn spawn_conn_worker(
                 let job = rx.lock().recv();
                 let Ok((req, needs_reply)) = job else { break };
                 let Some(core) = weak.upgrade() else { break };
+                queued.fetch_sub(1, Ordering::AcqRel);
+                depth
+                    .get_or_insert_with(|| {
+                        registry().gauge(&format!("orb.{}.tcp.server.queue_depth", core.node))
+                    })
+                    .sub(1);
                 let gauge = inflight.get_or_insert_with(|| {
                     registry().gauge(&format!("orb.{}.tcp.server.inflight", core.node))
                 });

@@ -13,6 +13,12 @@ pub enum RuaErrorKind {
     /// The configured instruction budget was exhausted — the embedder's
     /// defence against runaway remotely-supplied code.
     BudgetExhausted,
+    /// A sandbox resource limit other than the step budget was hit:
+    /// memory cap, call-depth cap or wall-clock deadline. Like
+    /// [`BudgetExhausted`](Self::BudgetExhausted) this class is
+    /// *uncatchable* from script code — `pcall` re-raises it — so
+    /// hostile code cannot swallow its own termination.
+    ResourceExhausted,
 }
 
 /// An error raised while compiling or running Rua code.
@@ -54,6 +60,43 @@ impl RuaError {
         }
     }
 
+    /// Creates a memory-cap resource error.
+    pub fn memory(line: usize) -> Self {
+        RuaError {
+            kind: RuaErrorKind::ResourceExhausted,
+            message: "memory limit exceeded".into(),
+            line,
+        }
+    }
+
+    /// Creates a wall-clock-deadline resource error.
+    pub fn deadline(line: usize) -> Self {
+        RuaError {
+            kind: RuaErrorKind::ResourceExhausted,
+            message: "wall-clock deadline exceeded".into(),
+            line,
+        }
+    }
+
+    /// Creates a generic resource-limit error (depth caps etc.).
+    pub fn resource(message: impl Into<String>, line: usize) -> Self {
+        RuaError {
+            kind: RuaErrorKind::ResourceExhausted,
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// True for the error classes that mean "the sandbox stopped this
+    /// code" (step budget or any other resource limit). These are
+    /// re-raised through `pcall` so script code cannot catch them.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self.kind,
+            RuaErrorKind::BudgetExhausted | RuaErrorKind::ResourceExhausted
+        )
+    }
+
     /// The error's stage.
     pub fn kind(&self) -> RuaErrorKind {
         self.kind
@@ -76,6 +119,7 @@ impl fmt::Display for RuaError {
             RuaErrorKind::Parse => "parse",
             RuaErrorKind::Runtime => "runtime",
             RuaErrorKind::BudgetExhausted => "budget",
+            RuaErrorKind::ResourceExhausted => "resource",
         };
         if self.line > 0 {
             write!(
@@ -109,5 +153,19 @@ mod tests {
         assert_eq!(e.kind(), RuaErrorKind::BudgetExhausted);
         assert_eq!(e.line(), 9);
         assert_eq!(e.message(), "instruction budget exhausted");
+    }
+
+    #[test]
+    fn resource_limit_classification() {
+        assert!(RuaError::budget(1).is_resource_limit());
+        assert!(RuaError::memory(1).is_resource_limit());
+        assert!(RuaError::deadline(1).is_resource_limit());
+        assert!(RuaError::resource("call stack overflow", 1).is_resource_limit());
+        assert!(!RuaError::runtime("boom", 1).is_resource_limit());
+        assert!(!RuaError::parse("bad", 1).is_resource_limit());
+        assert_eq!(
+            RuaError::memory(2).to_string(),
+            "rua resource error at line 2: memory limit exceeded"
+        );
     }
 }

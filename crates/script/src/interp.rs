@@ -3,6 +3,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 use crate::ast::*;
 use crate::error::RuaError;
@@ -83,6 +84,111 @@ impl Env {
     }
 }
 
+/// What an installed chunk of code is allowed to reach in the host.
+///
+/// Remotely shipped code (the paper's remote-evaluation paradigm) runs
+/// under [`CapabilityProfile::Remote`], which strips the stdlib entry
+/// points that escape the sandbox: `print` (host stdout), `readfrom`/
+/// `read` (the host reader) and `_G` (the raw globals table, through
+/// which code could re-acquire stripped functions or clobber host
+/// natives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapabilityProfile {
+    /// Full stdlib — for locally authored, trusted code.
+    #[default]
+    Trusted,
+    /// Host-escape functions removed — for remotely installed code.
+    Remote,
+}
+
+/// Resource limits and capabilities for code run by an [`Interpreter`].
+///
+/// Grows the original instruction budget into a full sandbox: an
+/// allocation cap (accounting units ≈ bytes for strings, a fixed charge
+/// per table entry), a recursion-depth cap, a wall-clock deadline
+/// checked alongside the step counter, and a [`CapabilityProfile`].
+/// Exceeding any limit raises a `ResourceExhausted`-class error that
+/// `pcall` cannot swallow.
+///
+/// ```
+/// use adapta_script::{Interpreter, RuaErrorKind, SandboxPolicy};
+///
+/// let mut rua = Interpreter::new();
+/// rua.set_sandbox(&SandboxPolicy::remote());
+/// let err = rua.eval("while true do end").unwrap_err();
+/// assert!(err.is_resource_limit());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SandboxPolicy {
+    /// Max evaluation steps per top-level `eval`/`call` (`None` = unlimited).
+    pub step_budget: Option<u64>,
+    /// Max allocation accounting units per top-level run (`None` = unlimited).
+    pub memory_limit: Option<u64>,
+    /// Max call-stack depth.
+    pub max_call_depth: usize,
+    /// Wall-clock deadline per top-level run (`None` = unlimited).
+    pub wall_clock: Option<Duration>,
+    /// Which stdlib surface the code may reach.
+    pub profile: CapabilityProfile,
+}
+
+impl Default for SandboxPolicy {
+    /// The trusted default: no budget, no memory cap, no deadline, the
+    /// historical depth limit of 100, full stdlib.
+    fn default() -> Self {
+        SandboxPolicy {
+            step_budget: None,
+            memory_limit: None,
+            max_call_depth: 100,
+            wall_clock: None,
+            profile: CapabilityProfile::Trusted,
+        }
+    }
+}
+
+impl SandboxPolicy {
+    /// The profile for remotely installed code: 250k steps, 4 MB of
+    /// accounting units, depth 64, a 250 ms deadline, and the
+    /// [`Remote`](CapabilityProfile::Remote) capability profile.
+    pub fn remote() -> Self {
+        SandboxPolicy {
+            step_budget: Some(250_000),
+            memory_limit: Some(4 << 20),
+            max_call_depth: 64,
+            wall_clock: Some(Duration::from_millis(250)),
+            profile: CapabilityProfile::Remote,
+        }
+    }
+
+    /// Sets the step budget.
+    pub fn with_step_budget(mut self, budget: Option<u64>) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// Sets the memory cap (accounting units).
+    pub fn with_memory_limit(mut self, limit: Option<u64>) -> Self {
+        self.memory_limit = limit;
+        self
+    }
+
+    /// Sets the call-depth cap.
+    pub fn with_max_call_depth(mut self, depth: usize) -> Self {
+        self.max_call_depth = depth;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_wall_clock(mut self, deadline: Option<Duration>) -> Self {
+        self.wall_clock = deadline;
+        self
+    }
+}
+
+/// Accounting units charged per table entry (≈ a small allocation);
+/// strings are charged one unit per byte.
+pub(crate) const TABLE_ENTRY_COST: u64 = 16;
+
 /// The closure type behind the pluggable `readfrom` reader.
 pub(crate) type ReaderFn = dyn Fn(&str) -> Option<String>;
 
@@ -109,6 +215,11 @@ pub struct Interpreter {
     globals: Rc<RefCell<Table>>,
     steps: u64,
     budget: Option<u64>,
+    mem_used: u64,
+    mem_limit: Option<u64>,
+    max_depth: usize,
+    wall_clock: Option<Duration>,
+    deadline: Option<Instant>,
     depth: usize,
     current_line: usize,
     /// Pluggable file reader backing `readfrom` (Figure 3 reads
@@ -146,6 +257,11 @@ impl Interpreter {
             globals: Rc::new(RefCell::new(Table::new())),
             steps: 0,
             budget: None,
+            mem_used: 0,
+            mem_limit: None,
+            max_depth: 100,
+            wall_clock: None,
+            deadline: None,
             depth: 0,
             current_line: 0,
             reader: None,
@@ -215,6 +331,34 @@ impl Interpreter {
         self.budget = budget;
     }
 
+    /// Applies a full [`SandboxPolicy`]: step budget, memory cap,
+    /// call-depth cap and wall-clock deadline for subsequent runs. For
+    /// [`CapabilityProfile::Remote`] the host-escape stdlib entry points
+    /// (`print`, `readfrom`, `read`, `_G`) are removed from the globals.
+    pub fn set_sandbox(&mut self, policy: &SandboxPolicy) {
+        self.budget = policy.step_budget;
+        self.mem_limit = policy.memory_limit;
+        self.max_depth = policy.max_call_depth;
+        self.wall_clock = policy.wall_clock;
+        if policy.profile == CapabilityProfile::Remote {
+            let mut globals = self.globals.borrow_mut();
+            for name in ["print", "readfrom", "read", "_G"] {
+                globals.set_str(name, Value::Nil);
+            }
+        }
+    }
+
+    /// Steps consumed by the current (or last) top-level run.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Allocation accounting units consumed by the current (or last)
+    /// top-level run.
+    pub fn memory_used(&self) -> u64 {
+        self.mem_used
+    }
+
     /// Installs the file reader backing the `readfrom` builtin.
     pub fn set_reader(&mut self, f: impl Fn(&str) -> Option<String> + 'static) {
         self.reader = Some(Rc::new(f));
@@ -245,7 +389,7 @@ impl Interpreter {
     /// Returns parse errors, runtime errors, or budget exhaustion.
     pub fn eval(&mut self, source: &str) -> Result<Vec<Value>> {
         let block = parse(source)?;
-        self.steps = 0;
+        self.reset_limits();
         let env = Env::root().child();
         // Top-level chunks are vararg functions with no arguments
         // (loadstring semantics).
@@ -326,11 +470,18 @@ impl Interpreter {
     ///
     /// Returns a runtime error if `f` is not callable or the call fails.
     pub fn call(&mut self, f: &Value, args: Vec<Value>) -> Result<Vec<Value>> {
-        self.steps = 0;
+        self.reset_limits();
         self.call_value(f, args)
     }
 
     // ---- internals ---------------------------------------------------
+
+    /// Resets the per-run counters and arms the wall-clock deadline.
+    fn reset_limits(&mut self) {
+        self.steps = 0;
+        self.mem_used = 0;
+        self.deadline = self.wall_clock.map(|d| Instant::now() + d);
+    }
 
     fn tick(&mut self, line: usize) -> Result<()> {
         self.current_line = line;
@@ -338,6 +489,32 @@ impl Interpreter {
         if let Some(budget) = self.budget {
             if self.steps > budget {
                 return Err(RuaError::budget(line));
+            }
+        }
+        // Checking the clock every step would dominate interpretation
+        // cost; every 256 steps keeps overrun under a millisecond.
+        if self.steps & 0xFF == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(RuaError::deadline(line));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges allocation accounting units against the memory cap.
+    /// Called *before* the allocation happens so a single oversized
+    /// request (e.g. `string.rep(s, 1e9)`) fails without allocating.
+    pub(crate) fn charge(&mut self, units: u64, line: usize) -> Result<()> {
+        self.mem_used = self.mem_used.saturating_add(units);
+        if let Some(limit) = self.mem_limit {
+            if self.mem_used > limit {
+                return Err(RuaError::memory(if line == 0 {
+                    self.current_line
+                } else {
+                    line
+                }));
             }
         }
         Ok(())
@@ -510,7 +687,10 @@ impl Interpreter {
                 let table = self.eval_one(obj, env)?;
                 let key = self.eval_one(key, env)?;
                 match table {
-                    Value::Table(t) => t.borrow_mut().set(key, value).map_err(|m| self.rt(m, line)),
+                    Value::Table(t) => {
+                        self.charge(TABLE_ENTRY_COST, line)?;
+                        t.borrow_mut().set(key, value).map_err(|m| self.rt(m, line))
+                    }
                     other => Err(self.rt(
                         format!("attempt to index a {} value", other.type_name()),
                         line,
@@ -638,6 +818,7 @@ impl Interpreter {
                 let mut index = 0i64;
                 let last = items.len().saturating_sub(1);
                 for (i, item) in items.iter().enumerate() {
+                    self.charge(TABLE_ENTRY_COST, expr.line)?;
                     match item {
                         TableItem::Positional(e) => {
                             // The final positional item expands multiple
@@ -651,6 +832,7 @@ impl Interpreter {
                                 )
                             {
                                 for v in self.eval_multi(e, env)? {
+                                    self.charge(TABLE_ENTRY_COST, e.line)?;
                                     index += 1;
                                     table
                                         .set(Value::Num(index as f64), v)
@@ -727,7 +909,7 @@ impl Interpreter {
         })
     }
 
-    fn binop(&self, op: BinOp, l: Value, r: Value, line: usize) -> Result<Value> {
+    fn binop(&mut self, op: BinOp, l: Value, r: Value, line: usize) -> Result<Value> {
         use BinOp::*;
         let arith = |l: &Value, r: &Value| -> Result<(f64, f64)> {
             match (l.coerce_num(), r.coerce_num()) {
@@ -789,6 +971,7 @@ impl Interpreter {
                         ))
                     }
                 };
+                self.charge((left.len() + right.len()) as u64, line)?;
                 Value::str(format!("{left}{right}"))
             }
             Eq => Value::Bool(l == r),
@@ -826,9 +1009,9 @@ impl Interpreter {
     /// Calls a callable value. Public to natives via `pcall` etc.
     pub(crate) fn call_value(&mut self, f: &Value, mut args: Vec<Value>) -> Result<Vec<Value>> {
         self.depth += 1;
-        if self.depth > 100 {
+        if self.depth > self.max_depth {
             self.depth -= 1;
-            return Err(self.rt("call stack overflow", 0));
+            return Err(RuaError::resource("call stack overflow", self.current_line));
         }
         let result = match f {
             Value::Function(closure) => {
@@ -1070,6 +1253,95 @@ mod tests {
         assert_eq!(err.kind(), RuaErrorKind::BudgetExhausted);
         // Budget resets per eval.
         assert!(rua.eval("return 1").is_ok());
+    }
+
+    #[test]
+    fn memory_cap_stops_table_bomb() {
+        let mut rua = Interpreter::new();
+        rua.set_sandbox(&SandboxPolicy::default().with_memory_limit(Some(4096)));
+        let err = rua
+            .eval("local t = {} local i = 0 while true do i = i + 1 t[i] = i end")
+            .unwrap_err();
+        assert_eq!(err.kind(), RuaErrorKind::ResourceExhausted);
+        assert!(err.message().contains("memory"));
+        // Accounting resets per eval.
+        assert!(rua.eval("return {1, 2, 3}").is_ok());
+    }
+
+    #[test]
+    fn memory_cap_stops_string_bomb() {
+        let mut rua = Interpreter::new();
+        rua.set_sandbox(&SandboxPolicy::default().with_memory_limit(Some(1 << 16)));
+        let err = rua
+            .eval("local s = 'x' while true do s = s .. s end")
+            .unwrap_err();
+        assert_eq!(err.kind(), RuaErrorKind::ResourceExhausted);
+    }
+
+    #[test]
+    fn wall_clock_deadline_fires() {
+        let mut rua = Interpreter::new();
+        rua.set_sandbox(
+            &SandboxPolicy::default().with_wall_clock(Some(std::time::Duration::from_millis(10))),
+        );
+        let err = rua.eval("while true do end").unwrap_err();
+        assert_eq!(err.kind(), RuaErrorKind::ResourceExhausted);
+        assert!(err.message().contains("deadline"));
+    }
+
+    #[test]
+    fn call_depth_cap_is_configurable() {
+        let mut rua = Interpreter::new();
+        rua.set_sandbox(&SandboxPolicy::default().with_max_call_depth(10));
+        let err = rua
+            .eval("local function f(n) return f(n + 1) end return f(0)")
+            .unwrap_err();
+        assert_eq!(err.kind(), RuaErrorKind::ResourceExhausted);
+        assert!(err.message().contains("stack overflow"));
+    }
+
+    #[test]
+    fn pcall_cannot_swallow_resource_errors() {
+        let mut rua = Interpreter::new();
+        rua.set_sandbox(&SandboxPolicy::default().with_memory_limit(Some(1 << 16)));
+        // A catching pcall would return (false, msg) and let the chunk
+        // run to completion; the re-raise makes the whole eval fail.
+        let err = rua
+            .eval(
+                "local ok, msg = pcall(function() local s = 'x' while true do s = s .. s end end)
+                 return ok, msg",
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), RuaErrorKind::ResourceExhausted);
+        // Plain runtime errors stay catchable.
+        let out = rua
+            .eval("local ok, msg = pcall(function() error('boom') end) return ok, msg")
+            .unwrap();
+        assert_eq!(out[0], Value::Bool(false));
+    }
+
+    #[test]
+    fn remote_profile_strips_host_escapes() {
+        let mut rua = Interpreter::new();
+        rua.set_reader(|_| Some("secret".to_owned()));
+        rua.set_sandbox(&SandboxPolicy::remote());
+        for src in [
+            "print('leak')",
+            "readfrom('/etc/passwd')",
+            "read('*a')",
+            "return _G.x",
+        ] {
+            let err = rua.eval(src).unwrap_err();
+            assert!(
+                err.message().contains("call a nil") || err.message().contains("index a nil"),
+                "{src}: {err}"
+            );
+        }
+        // The computational stdlib survives.
+        assert_eq!(
+            rua.eval("return math.floor(2.9)").unwrap(),
+            vec![Value::Num(2.0)]
+        );
     }
 
     #[test]

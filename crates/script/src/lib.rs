@@ -50,9 +50,12 @@
 //!   (plain substring search only) and a minimal `string.format`;
 //! * **table keys** are booleans, numbers and strings — tables and
 //!   functions cannot key (identity semantics are not supported);
-//! * an **instruction budget** ([`Interpreter::set_budget`]) and a
-//!   fixed call-depth limit defend the host against runaway remote
-//!   code — plain Lua has neither;
+//! * a **sandbox** ([`Interpreter::set_sandbox`], [`SandboxPolicy`])
+//!   defends the host against hostile remote code — plain Lua has no
+//!   analogue: an instruction budget, an allocation cap, a call-depth
+//!   cap, a wall-clock deadline, and capability profiles that strip
+//!   host-escape functions. Exceeding a limit raises a
+//!   `ResourceExhausted`-class error that `pcall` cannot catch;
 //! * `readfrom`/`read` (Lua 4 style, used by the paper's Figure 3) read
 //!   from a host-pluggable [`Interpreter::set_reader`] instead of the
 //!   real filesystem.
@@ -72,7 +75,7 @@ mod stdlib;
 mod value;
 
 pub use error::{RuaError, RuaErrorKind};
-pub use interp::{Interpreter, NativeFn};
+pub use interp::{CapabilityProfile, Interpreter, NativeFn, SandboxPolicy};
 pub use value::{Table, Value};
 
 /// Result alias for this crate.

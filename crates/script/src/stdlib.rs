@@ -128,6 +128,9 @@ fn base(interp: &mut Interpreter) {
                 out.append(&mut values);
                 Ok(out)
             }
+            // Resource-limit errors are uncatchable: re-raise them so
+            // sandboxed code cannot swallow its own termination.
+            Err(e) if e.is_resource_limit() => Err(e),
             Err(e) => Ok(vec![Value::Bool(false), Value::str(e.message())]),
         }
     });
@@ -194,8 +197,9 @@ fn base(interp: &mut Interpreter) {
         Ok(vec![v])
     });
 
-    interp.register("rawset", |_, args| {
+    interp.register("rawset", |interp, args| {
         let t = table_arg(&args, 0, "rawset")?;
+        interp.charge(crate::interp::TABLE_ENTRY_COST, 0)?;
         t.borrow_mut()
             .set(arg(&args, 1), arg(&args, 2))
             .map_err(err)?;
@@ -339,9 +343,12 @@ fn string_lib(interp: &mut Interpreter) {
         ),
         (
             "rep",
-            Interpreter::native("string.rep", |_, args| {
+            Interpreter::native("string.rep", |interp, args| {
                 let s = str_arg(&args, 0, "string.rep")?;
                 let n = num_arg(&args, 1, "string.rep")?.max(0.0) as usize;
+                // Charge before repeating so one oversized request
+                // fails without allocating.
+                interp.charge((s.len() as u64).saturating_mul(n as u64), 0)?;
                 Ok(vec![Value::str(s.repeat(n))])
             }),
         ),
@@ -404,7 +411,8 @@ fn string_lib(interp: &mut Interpreter) {
         ),
         (
             "char",
-            Interpreter::native("string.char", |_, args| {
+            Interpreter::native("string.char", |interp, args| {
+                interp.charge(args.len() as u64, 0)?;
                 let mut out = String::new();
                 for i in 0..args.len() {
                     out.push(num_arg(&args, i, "string.char")? as u8 as char);
@@ -414,9 +422,11 @@ fn string_lib(interp: &mut Interpreter) {
         ),
         (
             "format",
-            Interpreter::native("string.format", |_, args| {
+            Interpreter::native("string.format", |interp, args| {
                 let fmt = str_arg(&args, 0, "string.format")?;
-                Ok(vec![Value::str(format_impl(&fmt, &args[1..])?)])
+                let out = format_impl(&fmt, &args[1..])?;
+                interp.charge(out.len() as u64, 0)?;
+                Ok(vec![Value::str(out)])
             }),
         ),
     ]);
@@ -446,7 +456,9 @@ fn format_impl(fmt: &str, args: &[Value]) -> Result<String> {
             while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
                 digits.push(chars.next().expect("digit"));
             }
-            precision = digits.parse().ok();
+            // Cap precision: the formatted string is allocated before
+            // the sandbox can charge for it.
+            precision = digits.parse().ok().map(|p: usize| p.min(99));
         }
         match chars.next() {
             Some('%') => out.push('%'),
@@ -501,8 +513,9 @@ fn table_lib(interp: &mut Interpreter) {
     let table = new_table(vec![
         (
             "insert",
-            Interpreter::native("table.insert", |_, args| {
+            Interpreter::native("table.insert", |interp, args| {
                 let t = table_arg(&args, 0, "table.insert")?;
+                interp.charge(crate::interp::TABLE_ENTRY_COST, 0)?;
                 match args.len() {
                     0 | 1 => Err(err("wrong number of arguments to table.insert")),
                     2 => {

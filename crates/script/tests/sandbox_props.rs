@@ -1,0 +1,78 @@
+//! Property tests for the sandbox: randomly generated hostile programs
+//! under a step/memory budget must always terminate with a
+//! resource-limit error, and the step counter must never overshoot the
+//! budget by more than one dispatch loop (the interpreter counts the
+//! step, then checks — so the final count is at most `budget + 1`).
+
+use adapta_script::{Interpreter, SandboxPolicy};
+use proptest::prelude::*;
+
+/// One statement of a hostile loop body. Every candidate allocates,
+/// computes or recurses; none of them exits the enclosing loop.
+fn hostile_stmt() -> BoxedStrategy<&'static str> {
+    prop_oneof![
+        Just("x = x + 1"),
+        Just("s = s .. 'ab'"),
+        Just("t[#t + 1] = x"),
+        Just("table.insert(t, 'entry')"),
+        Just("for i = 1, 10 do x = x + i end"),
+        Just("if x > 1000 then x = 0 end"),
+        Just("pcall(function() s = s .. 'xy' end)"),
+        Just("pcall(function() local u = {1, 2, 3} u[4] = x end)"),
+        Just("local r = string.rep('z', 32) x = x + #r"),
+    ]
+    .boxed()
+}
+
+fn program(stmts: &[&str]) -> String {
+    format!(
+        "x = 0 s = '' t = {{}}\nwhile true do\n{}\nend",
+        stmts.join("\n")
+    )
+}
+
+proptest! {
+    #[test]
+    fn budgeted_programs_always_terminate_with_resource_error(
+        budget in 100u64..20_000,
+        stmts in proptest::collection::vec(hostile_stmt(), 1..6),
+    ) {
+        let mut rua = Interpreter::new();
+        rua.set_sandbox(
+            &SandboxPolicy::default()
+                .with_step_budget(Some(budget))
+                .with_memory_limit(Some(1 << 20)),
+        );
+        let err = rua.eval(&program(&stmts)).expect_err("infinite loop must be stopped");
+        prop_assert!(
+            err.is_resource_limit(),
+            "expected a resource-limit error, got {err}"
+        );
+        prop_assert!(
+            rua.steps() <= budget + 1,
+            "steps {} overshot budget {budget} by more than one dispatch loop",
+            rua.steps()
+        );
+    }
+
+    #[test]
+    fn memory_hungry_programs_stop_within_budget(
+        limit in 1024u64..65_536,
+        chunk in 1usize..64,
+    ) {
+        let mut rua = Interpreter::new();
+        rua.set_sandbox(&SandboxPolicy::default().with_memory_limit(Some(limit)));
+        let src = format!(
+            "local t = {{}} local i = 0 while true do i = i + 1 t[i] = string.rep('x', {chunk}) end"
+        );
+        let err = rua.eval(&src).expect_err("memory bomb must be stopped");
+        prop_assert!(err.is_resource_limit(), "got {err}");
+        // The charge happens before the allocation, so usage can exceed
+        // the limit by at most the single rejected request.
+        prop_assert!(
+            rua.memory_used() <= limit + (chunk as u64).max(16),
+            "memory_used {} overshot limit {limit}",
+            rua.memory_used()
+        );
+    }
+}
