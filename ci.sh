@@ -12,8 +12,35 @@
 # `./ci.sh --sandbox` runs the hostile-code suite (tests/sandbox.rs),
 # the script crate's sandbox property tests and the E12 overload
 # experiment. Also advisory/non-blocking in CI.
+#
+# `./ci.sh --lint` runs just the style gate (rustfmt + clippy with
+# warnings denied) — the fast pre-push check, and its own CI job so
+# style failures are reported separately from build/test failures.
+#
+# `./ci.sh --balancer` runs the replica-set/adaptive-routing suite
+# (tests/balancer.rs) and a smoke-scale E13 experiment (emitting
+# BENCH_exp_balancer.json). Advisory/non-blocking in CI.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--lint" ]]; then
+    echo "==> lint: cargo fmt --check"
+    cargo fmt --all --check
+    echo "==> lint: cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "Lint run green."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--balancer" ]]; then
+    echo "==> balancer: replica sets, routing policies, load feedback"
+    cargo test -q --test balancer
+    cargo test -q -p adapta-balancer
+    echo "==> balancer: experiment E13"
+    BALANCER_CALLS="${BALANCER_CALLS:-80}" cargo run -q -p adapta-bench --release --bin exp_balancer
+    echo "Balancer run green."
+    exit 0
+fi
 
 if [[ "${1:-}" == "--sandbox" ]]; then
     echo "==> sandbox: hostile remote code, quarantine, admission control"

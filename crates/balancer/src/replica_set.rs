@@ -1,0 +1,516 @@
+//! The replica set: a trader query materialized as live routing state.
+//!
+//! A [`ReplicaSet`] owns a [`QueryHandle`] and turns each refresh delta
+//! into replica lifecycle events: new matches become [`Replica`]s
+//! (keeping the preference order the trader returned), retained matches
+//! get their property snapshot updated *without* losing accumulated
+//! stats, and withdrawn/expired matches are evicted. A background
+//! refresher re-runs the query on a jittered interval so the set tracks
+//! the trader without synchronized polling stampedes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use adapta_idl::Value;
+use adapta_orb::ObjRef;
+use adapta_telemetry::registry;
+use adapta_trading::{OfferMatch, Query, QueryHandle, TradingService};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::policy::{policy_named, RoundRobin, RoutingPolicy};
+use crate::stats::ReplicaStats;
+
+/// One live replica: the offer snapshot plus runtime stats.
+#[derive(Debug)]
+pub struct Replica {
+    /// Stable identity across refreshes: offer id + target URI (the
+    /// same pair trading's federation dedups on).
+    key: String,
+    target: ObjRef,
+    properties: Mutex<Vec<(String, Value)>>,
+    dynamic: Mutex<Vec<(String, ObjRef)>>,
+    stats: ReplicaStats,
+}
+
+impl Replica {
+    /// Builds a replica from raw parts (tests, custom sets).
+    pub fn from_parts(
+        offer_id: impl Into<String>,
+        target: ObjRef,
+        properties: Vec<(String, Value)>,
+        dynamic: Vec<(String, ObjRef)>,
+    ) -> Replica {
+        Replica {
+            key: format!("{}@{}", offer_id.into(), target.to_uri()),
+            target,
+            properties: Mutex::new(properties),
+            dynamic: Mutex::new(dynamic),
+            stats: ReplicaStats::new(),
+        }
+    }
+
+    fn from_match(m: &OfferMatch) -> Replica {
+        Replica::from_parts(
+            m.id.to_string(),
+            m.target.clone(),
+            m.properties.clone(),
+            m.dynamic.clone(),
+        )
+    }
+
+    fn match_key(m: &OfferMatch) -> String {
+        format!("{}@{}", m.id, m.target.to_uri())
+    }
+
+    /// Stable replica identity (offer id + target URI).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The replica's object reference (what you invoke).
+    pub fn target(&self) -> &ObjRef {
+        &self.target
+    }
+
+    /// Runtime stats (shared with the routing policy).
+    pub fn stats(&self) -> &ReplicaStats {
+        &self.stats
+    }
+
+    /// Snapshot of the offer properties as of the last refresh.
+    pub fn properties(&self) -> Vec<(String, Value)> {
+        self.properties.lock().clone()
+    }
+
+    /// One property from the last-refresh snapshot.
+    pub fn property(&self, name: &str) -> Option<Value> {
+        self.properties
+            .lock()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// A property coerced to f64 (Double or Long).
+    pub fn property_f64(&self, name: &str) -> Option<f64> {
+        let v = self.property(name)?;
+        v.as_double().or_else(|| v.as_long().map(|l| l as f64))
+    }
+
+    /// Dynamic-property eval refs (the monitors behind the offer), so
+    /// callers can subscribe this replica to a load feed.
+    pub fn dynamic_refs(&self) -> Vec<(String, ObjRef)> {
+        self.dynamic.lock().clone()
+    }
+
+    fn update_from(&self, m: &OfferMatch) {
+        *self.properties.lock() = m.properties.clone();
+        *self.dynamic.lock() = m.dynamic.clone();
+    }
+}
+
+/// What a [`ReplicaSet::refresh`] changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshSummary {
+    /// Replicas added this round.
+    pub added: usize,
+    /// Replicas evicted this round.
+    pub evicted: usize,
+    /// Live replicas after the refresh.
+    pub total: usize,
+}
+
+/// Called with each replica entering/leaving the set.
+pub type ReplicaHook = Box<dyn Fn(&Arc<Replica>) + Send + Sync>;
+
+struct SetInner {
+    handle: QueryHandle,
+    replicas: RwLock<Vec<Arc<Replica>>>,
+    policy: RwLock<Arc<dyn RoutingPolicy>>,
+    metric_prefix: String,
+    on_added: Mutex<Option<ReplicaHook>>,
+    on_evicted: Mutex<Option<ReplicaHook>>,
+    refresher_started: AtomicBool,
+}
+
+impl SetInner {
+    fn counter(&self, stat: &str) -> adapta_telemetry::Counter {
+        registry().counter(&format!("{}.{stat}", self.metric_prefix))
+    }
+}
+
+/// A live, policy-routed view of every offer matching a trader query.
+///
+/// Cheaply cloneable; all clones share the same replicas, stats, and
+/// policy.
+#[derive(Clone)]
+pub struct ReplicaSet {
+    inner: Arc<SetInner>,
+}
+
+impl std::fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("replicas", &self.inner.replicas.read().len())
+            .field("policy", &self.policy_name())
+            .finish()
+    }
+}
+
+impl ReplicaSet {
+    /// Creates a set over `query` against `service`, starting empty
+    /// with the [`RoundRobin`] policy. Call [`refresh`](Self::refresh)
+    /// (or [`start_refresher`](Self::start_refresher)) to populate it.
+    pub fn new(service: Arc<dyn TradingService>, query: Query) -> ReplicaSet {
+        let metric_prefix = format!("balancer.{}", query.service_type);
+        ReplicaSet {
+            inner: Arc::new(SetInner {
+                handle: QueryHandle::new(service, query),
+                replicas: RwLock::new(Vec::new()),
+                policy: RwLock::new(Arc::new(RoundRobin::new())),
+                metric_prefix,
+                on_added: Mutex::new(None),
+                on_evicted: Mutex::new(None),
+                refresher_started: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Construction-time policy selection (unlike
+    /// [`set_policy`](Self::set_policy), not counted as a runtime
+    /// policy switch). Unknown names keep the default.
+    pub fn with_policy_named(self, name: &str) -> ReplicaSet {
+        if let Some(p) = policy_named(name) {
+            *self.inner.policy.write() = Arc::from(p);
+        }
+        self
+    }
+
+    // ---- lifecycle -------------------------------------------------------
+
+    /// Re-runs the query and applies the delta: adds new offers as
+    /// replicas, refreshes retained offers' property snapshots (stats
+    /// survive), evicts withdrawn ones.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the trader query returns; the set is unchanged on
+    /// error.
+    pub fn refresh(&self) -> adapta_trading::Result<RefreshSummary> {
+        let delta = self.inner.handle.refresh()?;
+        self.inner.counter("refreshes").incr();
+        let mut added_replicas = Vec::new();
+        let mut evicted_replicas = Vec::new();
+        let summary = {
+            let mut replicas = self.inner.replicas.write();
+            for m in &delta.kept {
+                let key = Replica::match_key(m);
+                if let Some(r) = replicas.iter().find(|r| r.key() == key) {
+                    r.update_from(m);
+                }
+            }
+            for m in &delta.removed {
+                let key = Replica::match_key(m);
+                if let Some(pos) = replicas.iter().position(|r| r.key() == key) {
+                    evicted_replicas.push(replicas.remove(pos));
+                }
+            }
+            for m in &delta.added {
+                let replica = Arc::new(Replica::from_match(m));
+                replicas.push(replica.clone());
+                added_replicas.push(replica);
+            }
+            RefreshSummary {
+                added: added_replicas.len(),
+                evicted: evicted_replicas.len(),
+                total: replicas.len(),
+            }
+        };
+        self.inner.counter("added").add(summary.added as u64);
+        self.inner.counter("evictions").add(summary.evicted as u64);
+        registry()
+            .gauge(&format!("{}.replicas", self.inner.metric_prefix))
+            .set(summary.total as i64);
+        // Hooks run outside the replicas lock: they typically do orb
+        // work (monitor subscribe/unsubscribe).
+        if let Some(hook) = &*self.inner.on_added.lock() {
+            for r in &added_replicas {
+                hook(r);
+            }
+        }
+        if let Some(hook) = &*self.inner.on_evicted.lock() {
+            for r in &evicted_replicas {
+                hook(r);
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Installs a hook called with every replica entering the set
+    /// (including ones added by refreshes already in flight).
+    pub fn on_added(&self, hook: ReplicaHook) {
+        *self.inner.on_added.lock() = Some(hook);
+    }
+
+    /// Installs a hook called with every evicted replica.
+    pub fn on_evicted(&self, hook: ReplicaHook) {
+        *self.inner.on_evicted.lock() = Some(hook);
+    }
+
+    /// Spawns a background thread refreshing the set roughly every
+    /// `interval`, jittered ±50% so many sets polling one trader don't
+    /// stampede in phase. The thread exits when the last `ReplicaSet`
+    /// clone is dropped; starting twice is a no-op.
+    pub fn start_refresher(&self, interval: Duration) {
+        if self.inner.refresher_started.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let weak: Weak<SetInner> = Arc::downgrade(&self.inner);
+        let name = format!("{}-refresher", self.inner.metric_prefix);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x6a69_7474);
+                loop {
+                    // Jitter in [0.5, 1.5) × interval, slept in short
+                    // steps so the thread notices the set dropping.
+                    let factor = 0.5 + rng.gen::<f64>();
+                    let mut remaining = interval.mul_f64(factor);
+                    let step = Duration::from_millis(10);
+                    while !remaining.is_zero() {
+                        if weak.strong_count() == 0 {
+                            return;
+                        }
+                        let nap = remaining.min(step);
+                        std::thread::sleep(nap);
+                        remaining = remaining.saturating_sub(nap);
+                    }
+                    let Some(inner) = weak.upgrade() else { return };
+                    let set = ReplicaSet { inner };
+                    let _ = set.refresh();
+                }
+            })
+            .expect("spawn replica-set refresher");
+    }
+
+    // ---- routing ---------------------------------------------------------
+
+    /// Picks a replica with the current policy. `key` is the optional
+    /// affinity key (see [`ConsistentHash`](crate::ConsistentHash)).
+    pub fn pick(&self, key: Option<u64>) -> Option<Arc<Replica>> {
+        self.pick_where(key, |_| true)
+    }
+
+    /// Picks a replica among those passing `filter` — callers exclude
+    /// breaker-open and known-dead targets here, so the policy only
+    /// ever sees admissible candidates.
+    pub fn pick_where(
+        &self,
+        key: Option<u64>,
+        filter: impl Fn(&Replica) -> bool,
+    ) -> Option<Arc<Replica>> {
+        let candidates: Vec<Arc<Replica>> = self
+            .inner
+            .replicas
+            .read()
+            .iter()
+            .filter(|r| filter(r))
+            .cloned()
+            .collect();
+        let policy = self.inner.policy.read().clone();
+        let picked = candidates.get(policy.pick(&candidates, key)?)?.clone();
+        self.record_pick(&picked);
+        Some(picked)
+    }
+
+    /// Counts a pick of `replica` (stats + `balancer.<type>.picks*`
+    /// metrics). [`pick_where`](Self::pick_where) calls this itself;
+    /// callers that route around the policy (e.g. a breaker probe to a
+    /// cooling-down replica) use it to keep the books straight.
+    pub fn record_pick(&self, replica: &Arc<Replica>) {
+        replica.stats().on_pick();
+        self.inner.counter("picks").incr();
+        self.inner
+            .counter(&format!("picks.{}", replica.target().endpoint))
+            .incr();
+    }
+
+    // ---- policy ----------------------------------------------------------
+
+    /// Swaps the routing policy. In-flight calls are untouched: they
+    /// already hold their replica, and stats/replicas are shared by
+    /// every policy.
+    pub fn set_policy(&self, policy: Box<dyn RoutingPolicy>) {
+        *self.inner.policy.write() = Arc::from(policy);
+        self.inner.counter("policy_switches").incr();
+    }
+
+    /// Swaps the policy by name (see
+    /// [`policy_named`](crate::policy_named)); `false` if the name is
+    /// unknown (the current policy stays).
+    pub fn set_policy_named(&self, name: &str) -> bool {
+        match policy_named(name) {
+            Some(p) => {
+                self.set_policy(p);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The current policy's name.
+    pub fn policy_name(&self) -> String {
+        self.inner.policy.read().name().to_string()
+    }
+
+    // ---- introspection ---------------------------------------------------
+
+    /// Snapshot of the live replicas.
+    pub fn replicas(&self) -> Vec<Arc<Replica>> {
+        self.inner.replicas.read().clone()
+    }
+
+    /// A live replica by key, if present.
+    pub fn replica(&self, key: &str) -> Option<Arc<Replica>> {
+        self.inner
+            .replicas
+            .read()
+            .iter()
+            .find(|r| r.key() == key)
+            .cloned()
+    }
+
+    /// Number of live replicas.
+    pub fn len(&self) -> usize {
+        self.inner.replicas.read().len()
+    }
+
+    /// True when no replica matched (yet).
+    pub fn is_empty(&self) -> bool {
+        self.inner.replicas.read().is_empty()
+    }
+
+    /// The query this set materializes.
+    pub fn query(&self) -> &Query {
+        self.inner.handle.query()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapta_idl::TypeCode;
+    use adapta_orb::Orb;
+    use adapta_trading::{ExportRequest, PropDef, PropMode, ServiceTypeDef, Trader};
+
+    fn setup() -> (Trader, ReplicaSet) {
+        let orb = Orb::new("t-replicaset");
+        let trader = Trader::new(&orb);
+        trader
+            .add_type(ServiceTypeDef::new("Hello").with_property(PropDef::new(
+                "LoadAvg",
+                TypeCode::Double,
+                PropMode::Mandatory,
+            )))
+            .unwrap();
+        let set = ReplicaSet::new(
+            Arc::new(trader.clone()),
+            Query::new("Hello").preference("min LoadAvg"),
+        );
+        (trader, set)
+    }
+
+    fn export(trader: &Trader, node: &str, load: f64) -> adapta_trading::OfferId {
+        trader
+            .export(
+                ExportRequest::new(
+                    "Hello",
+                    ObjRef::new(format!("inproc://{node}"), "svc", "Hello"),
+                )
+                .with_property("LoadAvg", Value::from(load)),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn refresh_applies_deltas_and_keeps_stats() {
+        let (trader, set) = setup();
+        let a = export(&trader, "a", 1.0);
+        export(&trader, "b", 2.0);
+        let s = set.refresh().unwrap();
+        assert_eq!((s.added, s.evicted, s.total), (2, 0, 2));
+
+        // Accumulate stats on a replica, then refresh: stats survive.
+        let r = set.pick(None).unwrap();
+        r.stats().on_start();
+        r.stats().on_complete(Duration::from_millis(3), true);
+        let key = r.key().to_string();
+        let s = set.refresh().unwrap();
+        assert_eq!((s.added, s.evicted, s.total), (0, 0, 2));
+        let same = set.replica(&key).unwrap();
+        assert_eq!(same.stats().completed(), 1);
+
+        trader.withdraw(&a).unwrap();
+        let s = set.refresh().unwrap();
+        assert_eq!((s.added, s.evicted, s.total), (0, 1, 1));
+    }
+
+    #[test]
+    fn hooks_fire_for_added_and_evicted_replicas() {
+        let (trader, set) = setup();
+        let added = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let evicted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let (a2, e2) = (added.clone(), evicted.clone());
+        set.on_added(Box::new(move |_| {
+            a2.fetch_add(1, Ordering::SeqCst);
+        }));
+        set.on_evicted(Box::new(move |_| {
+            e2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let id = export(&trader, "a", 1.0);
+        set.refresh().unwrap();
+        trader.withdraw(&id).unwrap();
+        set.refresh().unwrap();
+        assert_eq!(added.load(Ordering::SeqCst), 1);
+        assert_eq!(evicted.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn policy_swap_by_name() {
+        let (_trader, set) = setup();
+        assert_eq!(set.policy_name(), "round_robin");
+        assert!(set.set_policy_named("p2c_ewma"));
+        assert_eq!(set.policy_name(), "p2c_ewma");
+        assert!(!set.set_policy_named("nope"));
+        assert_eq!(set.policy_name(), "p2c_ewma");
+    }
+
+    #[test]
+    fn background_refresher_tracks_the_trader() {
+        let (trader, set) = setup();
+        set.start_refresher(Duration::from_millis(20));
+        set.start_refresher(Duration::from_millis(20)); // no-op
+        export(&trader, "a", 1.0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while set.is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(set.len(), 1, "refresher never picked up the export");
+    }
+
+    #[test]
+    fn pick_where_filters_candidates() {
+        let (trader, set) = setup();
+        export(&trader, "a", 1.0);
+        export(&trader, "b", 2.0);
+        set.refresh().unwrap();
+        let b_only = set
+            .pick_where(None, |r| r.target().endpoint.ends_with("b"))
+            .unwrap();
+        assert_eq!(b_only.target().endpoint, "inproc://b");
+        assert!(set.pick_where(None, |_| false).is_none());
+    }
+}

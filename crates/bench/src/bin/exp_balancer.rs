@@ -1,0 +1,248 @@
+//! Experiment E13 — adaptive request routing over a replica set.
+//!
+//! Four replicas of one service export themselves to the trader with
+//! heterogeneous service times (1/1/2/4 ms). Clients compare binding
+//! disciplines over two phases:
+//!
+//! * **static** — bind once to the first offer and never move (the
+//!   trade-once baseline);
+//! * **round_robin** — spread blindly, paying every slow replica its
+//!   full share;
+//! * **p2c_ewma** — power-of-two-choices over observed latency EWMAs;
+//! * **weighted_property** — weight picks by the exported `Cost`
+//!   property (static knowledge only, no feedback).
+//!
+//! Mid-run, the replica the static client is bound to — also the one
+//! carrying most adaptive traffic — degrades 40x. The claim
+//! quantified: feedback-driven policies (p2c_ewma) drain the degraded
+//! replica within a few calls and hold p99 near the healthy replicas'
+//! service time, while static binding and round-robin absorb the full
+//! degradation into their tail.
+//!
+//! Run with: `cargo run -p adapta-bench --release --bin exp_balancer`
+//! (`BALANCER_CALLS` scales the per-phase call count, default 240).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adapta_bench::Table;
+use adapta_core::SmartProxy;
+use adapta_idl::{InterfaceRepository, TypeCode, Value};
+use adapta_orb::{ObjRef, Orb, ServantFn};
+use adapta_trading::{ExportRequest, PropDef, PropMode, ServiceTypeDef, Trader};
+
+/// Service times per replica, microseconds (index 0 degrades mid-run).
+const SERVICE_US: [u64; 4] = [1_000, 1_000, 2_000, 4_000];
+const DEGRADED_US: u64 = 40_000;
+const THREADS: usize = 4;
+
+fn calls_per_phase() -> usize {
+    std::env::var("BALANCER_CALLS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240)
+}
+
+struct Rig {
+    #[allow(dead_code)]
+    orb: Orb,
+    proxy: Option<SmartProxy>,
+    /// The fixed binding used by the `static` discipline.
+    first: ObjRef,
+    knobs: Vec<Arc<AtomicU64>>,
+}
+
+/// One orb + trader + four steerable replicas, routed by `policy`
+/// (`None` = static binding to the first replica).
+fn rig(policy: Option<&str>) -> Rig {
+    let service = "E13Svc";
+    let orb = Orb::new(&format!("e13-{}", policy.unwrap_or("static")));
+    let trader = Trader::new(&orb);
+    trader
+        .add_type(ServiceTypeDef::new(service).with_property(PropDef::new(
+            "Cost",
+            TypeCode::Long,
+            PropMode::Normal,
+        )))
+        .unwrap();
+    let mut knobs = Vec::new();
+    let mut first = None;
+    for (i, us) in SERVICE_US.iter().enumerate() {
+        let knob = Arc::new(AtomicU64::new(*us));
+        let sleep = knob.clone();
+        let target = orb
+            .activate(
+                &format!("replica-{i}"),
+                ServantFn::new(service, move |_, args| {
+                    std::thread::sleep(Duration::from_micros(sleep.load(Ordering::Relaxed)));
+                    Ok(Value::Seq(args))
+                }),
+            )
+            .unwrap();
+        trader
+            .export(
+                ExportRequest::new(service, target.clone())
+                    .with_property("Cost", Value::Long((*us / 1_000) as i64)),
+            )
+            .unwrap();
+        first.get_or_insert(target);
+        knobs.push(knob);
+    }
+    let proxy = policy.map(|p| {
+        SmartProxy::builder(&orb, &InterfaceRepository::new(), Arc::new(trader), service)
+            .balanced(p)
+            .build()
+            .unwrap()
+    });
+    Rig {
+        orb,
+        proxy,
+        first: first.unwrap(),
+        knobs,
+    }
+}
+
+struct Phase {
+    p50: Duration,
+    p99: Duration,
+    throughput: f64,
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+/// `calls` invocations from `THREADS` client threads; per-call latency
+/// quantiles and aggregate throughput.
+fn drive(rig: &Rig, calls: usize) -> Phase {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let proxy = rig.proxy.clone();
+        let orb = rig.orb.clone();
+        let first = rig.first.clone();
+        let per_thread = calls / THREADS;
+        handles.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(per_thread);
+            for i in 0..per_thread {
+                let at = Instant::now();
+                let args = vec![Value::Long((t * per_thread + i) as i64)];
+                match &proxy {
+                    Some(p) => {
+                        p.invoke("echo", args).expect("balanced invoke");
+                    }
+                    None => {
+                        orb.invoke_ref(&first, "echo", args).expect("static invoke");
+                    }
+                }
+                lat.push(at.elapsed());
+            }
+            lat
+        }));
+    }
+    let mut lat: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    let elapsed = started.elapsed();
+    lat.sort_unstable();
+    Phase {
+        p50: quantile(&lat, 0.50),
+        p99: quantile(&lat, 0.99),
+        throughput: lat.len() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// The degraded replica's share of picks accumulated so far (balanced
+/// rigs only).
+fn degraded_share(rig: &Rig) -> Option<f64> {
+    let set = rig.proxy.as_ref()?.balancer()?;
+    let mut degraded = 0u64;
+    let mut total = 0u64;
+    for r in set.replicas() {
+        let picks = r.stats().picks();
+        total += picks;
+        if r.target().key == "replica-0" {
+            degraded += picks;
+        }
+    }
+    (total > 0).then(|| degraded as f64 / total as f64)
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let calls = calls_per_phase();
+    println!("E13: four replicas, service times 1/1/2/4 ms; {THREADS} client threads,");
+    println!("{calls} calls per phase. After phase 1 the 1 ms replica the static");
+    println!(
+        "client is bound to degrades to {} ms; a short detection",
+        DEGRADED_US / 1_000
+    );
+    println!(
+        "window ({} calls) runs unmeasured before phase 2.\n",
+        calls / 8
+    );
+
+    let mut table = Table::new(vec![
+        "policy",
+        "p50 ms (healthy)",
+        "p99 ms (healthy)",
+        "p50 ms (degraded)",
+        "p99 ms (degraded)",
+        "calls/s (degraded)",
+        "degraded share",
+    ]);
+    let mut p99 = std::collections::HashMap::new();
+    for policy in [
+        None,
+        Some("round_robin"),
+        Some("p2c_ewma"),
+        Some("weighted_property:Cost"),
+    ] {
+        let label = policy.unwrap_or("static (trade-once)");
+        let r = rig(policy);
+        let healthy = drive(&r, calls);
+        let before = degraded_share(&r);
+        r.knobs[0].store(DEGRADED_US, Ordering::Relaxed);
+        // Detection window: the first few calls after the degradation
+        // inevitably pay the new service time once per client — those
+        // probes ARE the adaptation mechanism, so they are driven but
+        // excluded from the steady-state phase-2 measurement.
+        let _ = drive(&r, calls / 8);
+        let degraded = drive(&r, calls);
+        // Share attributable to phase 2 alone is not recoverable from
+        // cumulative counters; report the cumulative share, which the
+        // drain still drags well below round-robin's 1/len.
+        let share = degraded_share(&r);
+        table.row(vec![
+            label.into(),
+            ms(healthy.p50),
+            ms(healthy.p99),
+            ms(degraded.p50),
+            ms(degraded.p99),
+            format!("{:.0}", degraded.throughput),
+            match (before, share) {
+                (Some(b), Some(a)) => format!("{:.0}% -> {:.0}%", b * 100.0, a * 100.0),
+                _ => "bound".into(),
+            },
+        ]);
+        p99.insert(label.to_string(), degraded.p99);
+    }
+    table.print();
+
+    let adaptive = p99["p2c_ewma"];
+    let blind = p99["round_robin"];
+    println!(
+        "\np2c_ewma p99 under degradation: {} ms vs round-robin {} ms — the\n\
+         feedback loop drains the slow replica; blind spreading keeps paying it.",
+        ms(adaptive),
+        ms(blind)
+    );
+
+    adapta_bench::finish("exp_balancer");
+}

@@ -15,6 +15,8 @@
 //! | `exp_failover` | E9 — component failure and re-selection |
 //! | `exp_concurrency` | E10 — multiplexed TCP transport under concurrent callers |
 //! | `exp_chaos` | E11 — fault injection: retry + circuit breaker under a chaos storm |
+//! | `exp_overload` | E12 — overload: admission control vs a request storm |
+//! | `exp_balancer` | E13 — adaptive request routing over a replica set |
 //!
 //! Criterion benches (`cargo bench`): `invocation` (E4), `trading`
 //! (E5 micro), `script` (E8).

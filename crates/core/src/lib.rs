@@ -42,7 +42,10 @@ pub use infra::{Infrastructure, ServerHandle, ServerSpec};
 pub use interceptors::AdaptiveRedirect;
 pub use resilience::{Admission, BreakerConfig, BreakerState, CircuitBreakerSet, RetryPolicy};
 pub use script_servant::ScriptServant;
-pub use smart_proxy::{NativeStrategy, SmartProxy, SmartProxyBuilder, Strategy, Subscription};
+pub use smart_proxy::{
+    BalancerConfig, NativeStrategy, SmartProxy, SmartProxyBuilder, Strategy, Subscription,
+    RELAXED_QUERY_EVENT,
+};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -269,9 +269,12 @@ impl CircuitBreakerSet {
     /// answer — an application exception still proves liveness).
     pub fn on_success(&self, target: &ObjRef) {
         let mut targets = self.targets.lock();
-        let Some(breaker) = targets.get_mut(&target.to_uri()) else {
-            return;
-        };
+        // Outcomes may arrive for targets that were never admitted
+        // through `admit` (the balancer routes around open breakers by
+        // state alone); they still must seed the sliding window.
+        let breaker = targets
+            .entry(target.to_uri())
+            .or_insert_with(TargetBreaker::new);
         match breaker.state {
             BreakerState::HalfOpen => {
                 breaker.state = BreakerState::Closed;
@@ -287,9 +290,9 @@ impl CircuitBreakerSet {
     /// Records a retryable failure against the target.
     pub fn on_failure(&self, target: &ObjRef) {
         let mut targets = self.targets.lock();
-        let Some(breaker) = targets.get_mut(&target.to_uri()) else {
-            return;
-        };
+        let breaker = targets
+            .entry(target.to_uri())
+            .or_insert_with(TargetBreaker::new);
         match breaker.state {
             BreakerState::HalfOpen => {
                 // The probe failed: back to open, restart the cool-down.

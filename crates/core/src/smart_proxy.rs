@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use adapta_balancer::{Replica, ReplicaSet};
 use adapta_bridge::{FuncHandle, ScriptActor};
 use adapta_idl::{InterfaceRepository, Value};
 use adapta_orb::{InvokeOptions, ObjRef, Orb, OrbError, OrbResult, ServantFn};
@@ -24,7 +25,7 @@ use adapta_trading::{OfferMatch, Query, TradingService};
 use parking_lot::Mutex;
 
 use crate::error::CoreError;
-use crate::resilience::{Admission, BreakerConfig, CircuitBreakerSet, RetryPolicy};
+use crate::resilience::{Admission, BreakerConfig, BreakerState, CircuitBreakerSet, RetryPolicy};
 use crate::script_env;
 use crate::Result;
 
@@ -50,6 +51,12 @@ const DEFAULT_DEAD_TARGET_TTL: Duration = Duration::from_secs(5);
 /// oldest entries are the most stale — they are dropped first (counted
 /// under `smartproxy.<type>.events_dropped`).
 const MAX_PENDING_EVENTS: usize = 256;
+
+/// Event posted (when a strategy is registered for it) each time the
+/// strict query came back empty and the proxy fell back to the relaxed
+/// query — adaptation code can observe constraint relaxation instead
+/// of it happening silently.
+pub const RELAXED_QUERY_EVENT: &str = "RelaxedQuery";
 
 impl Subscription {
     /// Creates a subscription.
@@ -100,6 +107,58 @@ struct Binding {
     attachments: Vec<(ObjRef, i64)>,
 }
 
+/// Configuration of the proxy's balanced mode (see
+/// [`SmartProxyBuilder::balanced`]).
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// Routing policy name (see `adapta_balancer::policy_named`).
+    pub policy: String,
+    /// Base interval of the background replica-set refresh (jittered
+    /// ±50% by the set).
+    pub refresh_interval: Duration,
+    /// The dynamic property whose monitor pushes feed per-replica load
+    /// (the [`WeightedProperty`](adapta_balancer::WeightedProperty)
+    /// signal).
+    pub load_property: String,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            policy: "round_robin".into(),
+            refresh_interval: Duration::from_millis(250),
+            load_property: "LoadAvg".into(),
+        }
+    }
+}
+
+/// Balanced-mode runtime state: the replica set plus the monitor
+/// attachments feeding each replica's load stat.
+struct BalancedState {
+    set: ReplicaSet,
+    load_property: String,
+    /// replica key → `(monitor, observer id)` pairs to detach when the
+    /// replica is evicted.
+    attachments: Mutex<HashMap<String, Vec<(ObjRef, i64)>>>,
+}
+
+/// Event-id prefix of balanced-mode load pushes; the suffix is the
+/// replica key, so one observer servant serves every replica.
+const LOAD_EVENT_PREFIX: &str = "balancer-load:";
+
+/// Always-true monitor predicate: every tick's value is pushed (the
+/// monitor layer coalesces consecutive pushes per observer).
+const LOAD_FEED_PREDICATE: &str = "function(observer, value, monitor) return true end";
+
+fn value_to_f64(v: &Value) -> Option<f64> {
+    match v {
+        // Monitors publish their sample window as a sequence; the head
+        // is the most recent observation.
+        Value::Seq(items) => items.first().and_then(value_to_f64),
+        _ => v.as_double().or_else(|| v.as_long().map(|l| l as f64)),
+    }
+}
+
 struct SpInner {
     orb: Orb,
     repo: InterfaceRepository,
@@ -121,6 +180,7 @@ struct SpInner {
     /// so repeated failovers converge instead of ping-ponging back onto
     /// a dead server.
     dead_targets: Mutex<Vec<(ObjRef, Instant)>>,
+    balanced: Option<BalancedState>,
     events: Mutex<VecDeque<String>>,
     observer_ref: OnceLock<ObjRef>,
     observer_key: Mutex<String>,
@@ -133,6 +193,7 @@ struct SpInner {
     failovers: AtomicU64,
     retries: AtomicU64,
     repicks_avoided: AtomicU64,
+    relaxed_queries: AtomicU64,
 }
 
 impl SpInner {
@@ -163,6 +224,91 @@ impl SpInner {
         registry()
             .gauge(&self.metric("queue_depth"))
             .set(depth as i64);
+    }
+
+    /// Enqueues an event for postponed handling (bounded queue, oldest
+    /// dropped first). Used by the observer servant and by internally
+    /// generated events like `RelaxedQuery`.
+    fn push_event(&self, event: String) {
+        let depth = {
+            let mut events = self.events.lock();
+            if events.len() >= MAX_PENDING_EVENTS {
+                events.pop_front();
+                registry().counter(&self.metric("events_dropped")).incr();
+            }
+            events.push_back(event);
+            events.len()
+        };
+        self.publish_queue_depth(depth);
+    }
+
+    /// Subscribes the proxy's observer to the load monitor behind a
+    /// replica's dynamic property, so monitor pushes keep the replica's
+    /// `last load` stat current (balanced mode only).
+    fn attach_load_feed(&self, replica: &Arc<Replica>) {
+        let Some(bal) = &self.balanced else { return };
+        let Some(observer) = self.observer_ref.get() else {
+            return;
+        };
+        let mut ids = Vec::new();
+        for (prop, monitor) in replica.dynamic_refs() {
+            if prop != bal.load_property {
+                continue;
+            }
+            let event = format!("{LOAD_EVENT_PREFIX}{}", replica.key());
+            if let Ok(Value::Long(id)) = self.orb.invoke_ref(
+                &monitor,
+                "attachEventObserver",
+                vec![
+                    Value::ObjRef(observer.clone()),
+                    Value::from(event.as_str()),
+                    Value::from(LOAD_FEED_PREDICATE),
+                ],
+            ) {
+                ids.push((monitor.clone(), id));
+            }
+            // An unreachable monitor is not fatal: the replica is still
+            // routable, just without a live load signal.
+        }
+        if !ids.is_empty() {
+            bal.attachments
+                .lock()
+                .insert(replica.key().to_string(), ids);
+        }
+    }
+
+    /// Detaches the load-feed subscriptions of an evicted replica.
+    fn detach_load_feed(&self, replica: &Arc<Replica>) {
+        let Some(bal) = &self.balanced else { return };
+        let Some(ids) = bal.attachments.lock().remove(replica.key()) else {
+            return;
+        };
+        for (monitor, id) in ids {
+            let _ = self
+                .orb
+                .invoke_ref(&monitor, "detachEventObserver", vec![Value::Long(id)]);
+        }
+    }
+
+    /// Routes a `balancer-load:<replica>` push into that replica's
+    /// stats; `true` if the event was a load push (handled here, not an
+    /// adaptation event).
+    fn record_load_push(&self, event: &str, args: &[Value]) -> bool {
+        let Some(key) = event.strip_prefix(LOAD_EVENT_PREFIX) else {
+            return false;
+        };
+        let Some(bal) = &self.balanced else {
+            return true;
+        };
+        if let (Some(replica), Some(load)) =
+            (bal.set.replica(key), args.get(1).and_then(value_to_f64))
+        {
+            replica.stats().record_load(load);
+            registry()
+                .counter(&format!("balancer.{}.load_pushes", self.service_type))
+                .incr();
+        }
+        true
     }
 }
 
@@ -200,6 +346,7 @@ pub struct SmartProxyBuilder {
     dead_target_ttl: Duration,
     retry: RetryPolicy,
     breaker: Option<BreakerConfig>,
+    balancer: Option<BalancerConfig>,
     subscriptions: Vec<Subscription>,
     native_strategies: Vec<(String, Strategy)>,
     script_strategies: Vec<(String, String)>,
@@ -272,6 +419,42 @@ impl SmartProxyBuilder {
         self
     }
 
+    /// Routes every invocation through an `adapta-balancer`
+    /// [`ReplicaSet`] with the named routing policy (`round_robin`,
+    /// `least_inflight`, `p2c_ewma`, `weighted_property[:<Prop>]`,
+    /// `consistent_hash`) instead of a single bound offer. The set
+    /// materializes this proxy's primary query, refreshes in the
+    /// background, and feeds call outcomes back into per-replica
+    /// stats; the policy can be swapped at run time with
+    /// [`SmartProxy::set_balancer_policy`]. The relaxed fallback query
+    /// does not apply in balanced mode (the set tracks the strict
+    /// constraint only).
+    pub fn balanced(mut self, policy: impl Into<String>) -> Self {
+        self.balancer
+            .get_or_insert_with(BalancerConfig::default)
+            .policy = policy.into();
+        self
+    }
+
+    /// Base interval of the balanced-mode background refresh (jittered
+    /// ±50%). Defaults to 250 ms. Implies [`balanced`](Self::balanced)
+    /// with the default policy.
+    pub fn balancer_refresh(mut self, interval: Duration) -> Self {
+        self.balancer
+            .get_or_insert_with(BalancerConfig::default)
+            .refresh_interval = interval;
+        self
+    }
+
+    /// The dynamic property whose monitor feeds per-replica load in
+    /// balanced mode. Defaults to `LoadAvg`.
+    pub fn balancer_load_property(mut self, property: impl Into<String>) -> Self {
+        self.balancer
+            .get_or_insert_with(BalancerConfig::default)
+            .load_property = property.into();
+        self
+    }
+
     /// Adds a monitor subscription (re-established on every rebind).
     pub fn subscribe(mut self, subscription: Subscription) -> Self {
         self.subscriptions.push(subscription);
@@ -306,6 +489,17 @@ impl SmartProxyBuilder {
         let breakers = self
             .breaker
             .map(|config| CircuitBreakerSet::new(config, &self.service_type));
+        let balancer_config = self.balancer;
+        let balanced = balancer_config.as_ref().map(|cfg| {
+            let query = Query::new(&self.service_type)
+                .constraint(&self.constraint)
+                .preference(&self.preference);
+            BalancedState {
+                set: ReplicaSet::new(self.trader.clone(), query).with_policy_named(&cfg.policy),
+                load_property: cfg.load_property.clone(),
+                attachments: Mutex::new(HashMap::new()),
+            }
+        });
         let inner = Arc::new(SpInner {
             orb: self.orb,
             repo: self.repo,
@@ -323,6 +517,7 @@ impl SmartProxyBuilder {
             strategies: Mutex::new(HashMap::new()),
             binding: Mutex::new(None),
             dead_targets: Mutex::new(Vec::new()),
+            balanced,
             events: Mutex::new(VecDeque::new()),
             observer_ref: OnceLock::new(),
             observer_key: Mutex::new(String::new()),
@@ -335,6 +530,7 @@ impl SmartProxyBuilder {
             failovers: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             repicks_avoided: AtomicU64::new(0),
+            relaxed_queries: AtomicU64::new(0),
         });
         let proxy = SmartProxy { inner };
 
@@ -351,27 +547,22 @@ impl SmartProxyBuilder {
                 .unwrap_or("unknown")
                 .to_owned();
             if let Some(inner) = weak.upgrade() {
+                // Balanced-mode load pushes update replica stats and
+                // stop here: they are a data feed, not an adaptation
+                // event.
+                if inner.record_load_push(&event, &args) {
+                    return Ok(Value::Null);
+                }
                 inner.events_received.fetch_add(1, Ordering::Relaxed);
                 registry().counter(&inner.metric("events_received")).incr();
                 let proxy = SmartProxy { inner };
                 if proxy.inner.immediate_handling {
                     proxy.handle_event(&event);
                 } else {
-                    let depth = {
-                        let mut events = proxy.inner.events.lock();
-                        // Bounded: a notification storm cannot grow the
-                        // queue without limit — beyond the cap the
-                        // oldest (stalest) event is dropped and counted.
-                        if events.len() >= MAX_PENDING_EVENTS {
-                            events.pop_front();
-                            registry()
-                                .counter(&proxy.inner.metric("events_dropped"))
-                                .incr();
-                        }
-                        events.push_back(event);
-                        events.len()
-                    };
-                    proxy.inner.publish_queue_depth(depth);
+                    // Bounded: a notification storm cannot grow the
+                    // queue without limit — beyond the cap the oldest
+                    // (stalest) event is dropped and counted.
+                    proxy.inner.push_event(event);
                 }
             }
             Ok(Value::Null)
@@ -391,7 +582,33 @@ impl SmartProxyBuilder {
             proxy.set_strategy_script(&event, &code)?;
         }
 
-        if !self.lazy && !proxy.select_with(&proxy.inner.constraint.clone(), true)? {
+        if let Some(bal) = &proxy.inner.balanced {
+            // Lifecycle hooks attach/detach the load feed; installed
+            // before the first refresh so the initial replicas get one.
+            let weak = Arc::downgrade(&proxy.inner);
+            bal.set.on_added(Box::new(move |replica| {
+                if let Some(inner) = weak.upgrade() {
+                    inner.attach_load_feed(replica);
+                }
+            }));
+            let weak = Arc::downgrade(&proxy.inner);
+            bal.set.on_evicted(Box::new(move |replica| {
+                if let Some(inner) = weak.upgrade() {
+                    inner.detach_load_feed(replica);
+                }
+            }));
+            bal.set.refresh()?;
+            if !self.lazy && bal.set.is_empty() {
+                return Err(CoreError::NoSuitableOffer {
+                    service_type: proxy.inner.service_type.clone(),
+                });
+            }
+            let interval = balancer_config
+                .as_ref()
+                .map(|c| c.refresh_interval)
+                .unwrap_or_else(|| BalancerConfig::default().refresh_interval);
+            bal.set.start_refresher(interval);
+        } else if !self.lazy && !proxy.select_with(&proxy.inner.constraint.clone(), true)? {
             return Err(CoreError::NoSuitableOffer {
                 service_type: proxy.inner.service_type.clone(),
             });
@@ -423,6 +640,7 @@ impl SmartProxy {
             dead_target_ttl: DEFAULT_DEAD_TARGET_TTL,
             retry: RetryPolicy::failover_only(),
             breaker: None,
+            balancer: None,
             subscriptions: Vec::new(),
             native_strategies: Vec::new(),
             script_strategies: Vec::new(),
@@ -503,6 +721,38 @@ impl SmartProxy {
     /// (within the dead-target TTL).
     pub fn repicks_avoided(&self) -> u64 {
         self.inner.repicks_avoided.load(Ordering::Relaxed)
+    }
+
+    /// Times the strict query came back empty and the proxy fell back
+    /// to the relaxed query (also `smartproxy.<type>.failover.relaxed_queries`
+    /// and, with a strategy registered, the [`RELAXED_QUERY_EVENT`]).
+    pub fn relaxed_queries(&self) -> u64 {
+        self.inner.relaxed_queries.load(Ordering::Relaxed)
+    }
+
+    // ---- balanced mode ---------------------------------------------------
+
+    /// The replica set behind balanced mode (see
+    /// [`SmartProxyBuilder::balanced`]); `None` on a classic
+    /// single-binding proxy.
+    pub fn balancer(&self) -> Option<&ReplicaSet> {
+        self.inner.balanced.as_ref().map(|b| &b.set)
+    }
+
+    /// Swaps the routing policy at run time (balanced mode): in-flight
+    /// calls keep their already-picked replica, later calls use the new
+    /// policy. Counted under `balancer.<type>.policy_switches`.
+    /// Returns `false` when not balanced or the name is unknown.
+    pub fn set_balancer_policy(&self, name: &str) -> bool {
+        self.inner
+            .balanced
+            .as_ref()
+            .is_some_and(|b| b.set.set_policy_named(name))
+    }
+
+    /// The current routing policy's name (balanced mode).
+    pub fn balancer_policy(&self) -> Option<String> {
+        self.inner.balanced.as_ref().map(|b| b.set.policy_name())
     }
 
     // ---- strategies ------------------------------------------------------
@@ -618,6 +868,12 @@ impl SmartProxy {
     ///
     /// Trading errors.
     pub fn reselect(&self) -> Result<bool> {
+        if let Some(bal) = &self.inner.balanced {
+            // Balanced mode has no single binding to re-pick; the
+            // equivalent adaptation is refreshing the replica set.
+            let summary = bal.set.refresh()?;
+            return Ok(summary.added > 0 || summary.evicted > 0);
+        }
         self.select_with(&self.inner.constraint.clone(), false)
     }
 
@@ -672,6 +928,24 @@ impl SmartProxy {
             .preference(&self.inner.preference);
         let mut matches = filter(self.inner.trader.query(&q)?);
         if matches.is_empty() && fallback && self.inner.fallback_on_empty {
+            // The paper's relaxed fallback (preference only, no
+            // filtering) — no longer silent: it is counted, and posted
+            // as a `RelaxedQuery` event when a strategy wants to react
+            // (e.g. widen the constraint, raise an alarm). Without a
+            // registered strategy nothing is enqueued: the default
+            // Reselect plan would just churn queries.
+            self.inner.relaxed_queries.fetch_add(1, Ordering::Relaxed);
+            registry()
+                .counter(&self.inner.metric("failover.relaxed_queries"))
+                .incr();
+            if self
+                .inner
+                .strategies
+                .lock()
+                .contains_key(RELAXED_QUERY_EVENT)
+            {
+                self.inner.push_event(RELAXED_QUERY_EVENT.to_string());
+            }
             let relaxed = Query::new(&self.inner.service_type).preference(&self.inner.preference);
             matches = filter(self.inner.trader.query(&relaxed)?);
         }
@@ -859,8 +1133,24 @@ impl SmartProxy {
     /// otherwise broker/servant errors (the last attempt's, when
     /// retries are exhausted).
     pub fn invoke(&self, op: &str, args: Vec<Value>) -> Result<Value> {
+        self.invoke_keyed(op, args, None)
+    }
+
+    /// Like [`invoke`](Self::invoke), with an affinity key for
+    /// key-aware routing policies (balanced mode with
+    /// [`ConsistentHash`](adapta_balancer::ConsistentHash): calls with
+    /// the same key stick to the same replica). The key is ignored by
+    /// key-oblivious policies and by classic single-binding proxies.
+    ///
+    /// # Errors
+    ///
+    /// As [`invoke`](Self::invoke).
+    pub fn invoke_keyed(&self, op: &str, args: Vec<Value>, affinity: Option<u64>) -> Result<Value> {
         self.inner.invocations.fetch_add(1, Ordering::Relaxed);
         self.handle_pending_events();
+        if self.inner.balanced.is_some() {
+            return self.invoke_balanced(op, args, affinity);
+        }
         let overall = self.inner.call_deadline.map(|d| (d, Instant::now() + d));
         let mut backoff = self.inner.retry.backoff();
         let max_attempts = self.inner.retry.max_attempts.max(1);
@@ -946,6 +1236,154 @@ impl SmartProxy {
         }))
     }
 
+    /// Picks the replica for one balanced attempt.
+    ///
+    /// First the breaker-probe scan: a replica whose breaker cool-down
+    /// elapsed gets one deliberate probe call (otherwise a drained
+    /// replica could never rejoin — `state()` only moves Open→HalfOpen
+    /// through `admit`). Then the policy picks among replicas that are
+    /// not excluded (failed earlier in this invocation), not on the
+    /// dead list, and whose breaker is closed — so breaker-open
+    /// replicas receive zero policy picks. With nothing admissible the
+    /// dead list is waived (a dead-listed replica may have healed),
+    /// and as a last resort the exclusion set is cleared for a fresh
+    /// round.
+    fn pick_balanced(
+        &self,
+        bal: &BalancedState,
+        affinity: Option<u64>,
+        excluded: &mut Vec<String>,
+    ) -> Option<Arc<Replica>> {
+        let dead = self.inner.dead_snapshot();
+        if let Some(breakers) = &self.inner.breakers {
+            for r in bal.set.replicas() {
+                if excluded.iter().any(|k| k == r.key()) || dead.contains(r.target()) {
+                    continue;
+                }
+                if breakers.state(r.target()) == BreakerState::Closed {
+                    continue;
+                }
+                if breakers.admit(r.target()) != Admission::Reject {
+                    bal.set.record_pick(&r);
+                    return Some(r);
+                }
+            }
+        }
+        let admissible = |r: &Replica, check_dead: bool| {
+            !excluded.iter().any(|k| k == r.key())
+                && (!check_dead || !dead.contains(r.target()))
+                && self
+                    .inner
+                    .breakers
+                    .as_ref()
+                    .is_none_or(|b| b.state(r.target()) == BreakerState::Closed)
+        };
+        if let Some(r) = bal.set.pick_where(affinity, |r| admissible(r, true)) {
+            return Some(r);
+        }
+        if let Some(r) = bal.set.pick_where(affinity, |r| admissible(r, false)) {
+            return Some(r);
+        }
+        if excluded.is_empty() {
+            return None;
+        }
+        let fresh_round = bal.set.pick_where(affinity, |r| {
+            self.inner
+                .breakers
+                .as_ref()
+                .is_none_or(|b| b.state(r.target()) == BreakerState::Closed)
+        });
+        excluded.clear();
+        fresh_round
+    }
+
+    /// The balanced-mode invocation loop: every attempt routes through
+    /// the routing policy (feeding latency/outcome back into the picked
+    /// replica's stats) instead of the single bound offer.
+    fn invoke_balanced(&self, op: &str, args: Vec<Value>, affinity: Option<u64>) -> Result<Value> {
+        let bal = self.inner.balanced.as_ref().expect("balanced mode");
+        let overall = self.inner.call_deadline.map(|d| (d, Instant::now() + d));
+        let mut backoff = self.inner.retry.backoff();
+        let max_attempts = self.inner.retry.max_attempts.max(1);
+        let mut counted_failover = false;
+        let mut excluded: Vec<String> = Vec::new();
+        let mut last_err: Option<CoreError> = None;
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                self.inner.retries.fetch_add(1, Ordering::Relaxed);
+                registry().counter(&self.inner.metric("retries")).incr();
+            }
+            if let Some((budget, end)) = overall {
+                if Instant::now() >= end {
+                    return Err(last_err
+                        .unwrap_or_else(|| OrbError::DeadlineExpired { after: budget }.into()));
+                }
+            }
+            if bal.set.is_empty() {
+                let _ = bal.set.refresh();
+            }
+            let Some(replica) = self.pick_balanced(bal, affinity, &mut excluded) else {
+                // Nothing admissible at all: ask the trader again (new
+                // replicas may have been exported) and wait out the
+                // backoff before the next attempt.
+                last_err.get_or_insert_with(|| {
+                    CoreError::Unbound(format!(
+                        "no admissible replica for `{}`",
+                        self.inner.service_type
+                    ))
+                });
+                let _ = bal.set.refresh();
+                self.sleep_backoff(&mut backoff, overall);
+                continue;
+            };
+            let target = replica.target().clone();
+            replica.stats().on_start();
+            let started = Instant::now();
+            match self.invoke_transport(&target, op, args.clone(), overall) {
+                Ok(v) => {
+                    replica.stats().on_complete(started.elapsed(), true);
+                    if let Some(breakers) = &self.inner.breakers {
+                        breakers.on_success(&target);
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_retryable() => {
+                    replica.stats().on_complete(started.elapsed(), false);
+                    if let Some(breakers) = &self.inner.breakers {
+                        breakers.on_failure(&target);
+                    }
+                    if !counted_failover {
+                        counted_failover = true;
+                        self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+                        registry().counter(&self.inner.metric("failovers")).incr();
+                    }
+                    self.inner.note_dead(&target);
+                    excluded.push(replica.key().to_string());
+                    last_err = Some(e.into());
+                    if attempt == max_attempts {
+                        break;
+                    }
+                    self.sleep_backoff(&mut backoff, overall);
+                }
+                Err(e) => {
+                    // Application error: the replica answered, so its
+                    // latency observation and breaker liveness stand.
+                    replica.stats().on_complete(started.elapsed(), true);
+                    if let Some(breakers) = &self.inner.breakers {
+                        breakers.on_success(&target);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            CoreError::Unbound(format!(
+                "retries exhausted for `{}`",
+                self.inner.service_type
+            ))
+        }))
+    }
+
     /// Sleeps the next backoff delay, clipped to the remaining overall
     /// deadline budget (so a retried call can never overshoot it).
     fn sleep_backoff(
@@ -996,6 +1434,24 @@ impl SmartProxy {
     pub fn invoke_oneway(&self, op: &str, args: Vec<Value>) -> Result<()> {
         self.inner.invocations.fetch_add(1, Ordering::Relaxed);
         self.handle_pending_events();
+        if let Some(bal) = &self.inner.balanced {
+            if bal.set.is_empty() {
+                let _ = bal.set.refresh();
+            }
+            let mut excluded = Vec::new();
+            let replica = self
+                .pick_balanced(bal, None, &mut excluded)
+                .ok_or_else(|| {
+                    CoreError::Unbound(format!(
+                        "no admissible replica for `{}`",
+                        self.inner.service_type
+                    ))
+                })?;
+            return Ok(self
+                .inner
+                .orb
+                .invoke_oneway_ref(replica.target(), op, args)?);
+        }
         let target = self.ensure_bound()?;
         Ok(self.inner.orb.invoke_oneway_ref(&target, op, args)?)
     }
@@ -1054,6 +1510,33 @@ fn build_facade(interp: &mut adapta_script::Interpreter, proxy: &SmartProxy) -> 
                     }
                 }
                 Ok(vec![adapta_script::Value::Bool(ok)])
+            }),
+        );
+        // _set_policy(self, name) -> bool — balanced-mode runtime
+        // policy swap from Rua strategies (Figure-7 style adaptation
+        // code can re-route traffic, not just re-bind).
+        let p = proxy.clone();
+        t.borrow_mut().set_str(
+            "_set_policy",
+            adapta_script::Interpreter::native("_set_policy", move |_, args| {
+                let name = args
+                    .get(1)
+                    .and_then(|v| v.as_str().map(str::to_owned))
+                    .unwrap_or_default();
+                Ok(vec![adapta_script::Value::Bool(
+                    p.set_balancer_policy(&name),
+                )])
+            }),
+        );
+        // _policy(self) -> string | nil — the current routing policy.
+        let p = proxy.clone();
+        t.borrow_mut().set_str(
+            "_policy",
+            adapta_script::Interpreter::native("_policy", move |_, _| {
+                Ok(vec![match p.balancer_policy() {
+                    Some(name) => adapta_script::Value::str(name),
+                    None => adapta_script::Value::Nil,
+                }])
             }),
         );
         t.borrow_mut().set_str(

@@ -877,10 +877,20 @@ impl Monitor {
             };
             for event_id in pending {
                 let pushed = match &delivery {
+                    // Remote pushes carry the monitor's current value
+                    // as a second argument so observers (e.g. balancer
+                    // replica stats) can consume the load feed without
+                    // a `getValue` round trip. Older observer servants
+                    // read only `args[0]`, so the extra arg is
+                    // backward compatible.
                     Delivery::Remote(target) => self
                         .inner
                         .orb
-                        .invoke_oneway_ref(target, "notifyEvent", vec![Value::from(&*event_id)])
+                        .invoke_oneway_ref(
+                            target,
+                            "notifyEvent",
+                            vec![Value::from(&*event_id), self.value()],
+                        )
                         .is_ok(),
                     Delivery::Local(h) => {
                         let h = *h;

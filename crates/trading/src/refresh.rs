@@ -1,0 +1,203 @@
+//! Refreshable import queries.
+//!
+//! A one-shot [`query`](crate::Trader::query) answers "who matches
+//! *now*"; a [`QueryHandle`] keeps asking. Each
+//! [`refresh`](QueryHandle::refresh) re-runs the same query and diffs
+//! the result against the previous round, classifying every offer as
+//! *added* (new since last refresh), *kept* (still matching), or
+//! *removed* (withdrawn, lease-expired, quarantined, or no longer
+//! matching the constraint). Long-lived importers — the balancer's
+//! replica set above all — consume the delta instead of rebuilding
+//! their world on every poll.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::offer::{OfferId, OfferMatch};
+use crate::query::Query;
+use crate::servant::TradingService;
+use crate::Result;
+
+/// Identity of a match across refresh rounds. Federated traders share
+/// the `offer-N` id namespace, so identity is the id *plus* the target
+/// URI — the same pair `link.rs` dedups on.
+fn match_key(m: &OfferMatch) -> (OfferId, String) {
+    (m.id.clone(), m.target.to_uri())
+}
+
+/// What changed between two refresh rounds.
+#[derive(Debug, Default)]
+pub struct QueryDelta {
+    /// Offers matching now that were absent last round.
+    pub added: Vec<OfferMatch>,
+    /// Offers matching both rounds (current property values).
+    pub kept: Vec<OfferMatch>,
+    /// Offers from last round that no longer match.
+    pub removed: Vec<OfferMatch>,
+}
+
+impl QueryDelta {
+    /// True if nothing entered or left the match set.
+    pub fn is_stable(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// All currently-matching offers (added + kept), preference order
+    /// preserved.
+    pub fn matches(&self) -> Vec<&OfferMatch> {
+        let mut all: Vec<&OfferMatch> = Vec::with_capacity(self.added.len() + self.kept.len());
+        all.extend(self.kept.iter());
+        all.extend(self.added.iter());
+        all
+    }
+}
+
+/// A standing import query: the query plus the set of offers it matched
+/// on the previous [`refresh`](QueryHandle::refresh).
+pub struct QueryHandle {
+    service: Arc<dyn TradingService>,
+    query: Query,
+    seen: Mutex<HashMap<(OfferId, String), OfferMatch>>,
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("service_type", &self.query.service_type)
+            .field("seen", &self.seen.lock().len())
+            .finish()
+    }
+}
+
+impl QueryHandle {
+    /// Creates a handle; no query runs until the first `refresh`.
+    pub fn new(service: Arc<dyn TradingService>, query: Query) -> QueryHandle {
+        QueryHandle {
+            service,
+            query,
+            seen: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The query this handle re-runs.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Re-runs the query and returns the delta against the previous
+    /// round. The first call reports every match as `added`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying query returns; on error the seen set is
+    /// unchanged, so the next successful refresh diffs against the last
+    /// *successful* round.
+    pub fn refresh(&self) -> Result<QueryDelta> {
+        let current = self.service.query(&self.query)?;
+        let mut seen = self.seen.lock();
+        let mut previous = std::mem::take(&mut *seen);
+        let mut delta = QueryDelta::default();
+        for m in current {
+            let key = match_key(&m);
+            if previous.remove(&key).is_some() {
+                delta.kept.push(m.clone());
+            } else {
+                delta.added.push(m.clone());
+            }
+            seen.insert(key, m);
+        }
+        delta.removed = previous.into_values().collect();
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offer::ExportRequest;
+    use crate::service_type::{PropDef, PropMode, ServiceTypeDef};
+    use crate::trader::Trader;
+    use adapta_idl::{ObjRefData, TypeCode, Value};
+    use adapta_orb::Orb;
+
+    fn setup() -> (Trader, QueryHandle) {
+        let orb = Orb::new("t-refresh");
+        let trader = Trader::new(&orb);
+        trader
+            .add_type(ServiceTypeDef::new("Hello").with_property(PropDef::new(
+                "LoadAvg",
+                TypeCode::Double,
+                PropMode::Mandatory,
+            )))
+            .unwrap();
+        let handle = QueryHandle::new(
+            Arc::new(trader.clone()),
+            Query::new("Hello").preference("min LoadAvg"),
+        );
+        (trader, handle)
+    }
+
+    fn export(trader: &Trader, name: &str, load: f64) -> OfferId {
+        trader
+            .export(
+                ExportRequest::new("Hello", ObjRefData::new("inproc://h", name, "Hello"))
+                    .with_property("LoadAvg", Value::from(load)),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn first_refresh_reports_everything_added() {
+        let (trader, handle) = setup();
+        export(&trader, "a", 1.0);
+        export(&trader, "b", 2.0);
+        let delta = handle.refresh().unwrap();
+        assert_eq!(delta.added.len(), 2);
+        assert!(delta.kept.is_empty());
+        assert!(delta.removed.is_empty());
+        assert!(!delta.is_stable());
+    }
+
+    #[test]
+    fn steady_state_is_stable() {
+        let (trader, handle) = setup();
+        export(&trader, "a", 1.0);
+        handle.refresh().unwrap();
+        let delta = handle.refresh().unwrap();
+        assert!(delta.is_stable());
+        assert_eq!(delta.kept.len(), 1);
+        assert_eq!(delta.matches().len(), 1);
+    }
+
+    #[test]
+    fn exports_and_withdrawals_show_up_as_deltas() {
+        let (trader, handle) = setup();
+        let a = export(&trader, "a", 1.0);
+        handle.refresh().unwrap();
+
+        export(&trader, "b", 2.0);
+        let delta = handle.refresh().unwrap();
+        assert_eq!(delta.added.len(), 1);
+        assert_eq!(delta.kept.len(), 1);
+
+        trader.withdraw(&a).unwrap();
+        let delta = handle.refresh().unwrap();
+        assert!(delta.added.is_empty());
+        assert_eq!(delta.kept.len(), 1);
+        assert_eq!(delta.removed.len(), 1);
+        assert_eq!(delta.removed[0].id, a);
+    }
+
+    #[test]
+    fn failed_refresh_leaves_the_seen_set_intact() {
+        let (trader, _) = setup();
+        export(&trader, "a", 1.0);
+        // A handle over a bogus service type errors without clearing
+        // what a later successful refresh should diff against.
+        let handle = QueryHandle::new(Arc::new(trader.clone()), Query::new("Nope"));
+        assert!(handle.refresh().is_err());
+        assert!(handle.refresh().is_err());
+    }
+}

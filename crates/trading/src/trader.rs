@@ -15,10 +15,10 @@ use rand::SeedableRng;
 
 use crate::constraint::Constraint;
 use crate::error::TradingError;
+use crate::link::LinkSet;
 use crate::offer::{ExportRequest, OfferId, OfferMatch, PropValue, ServiceOffer};
 use crate::preference::Preference;
 use crate::query::Query;
-use crate::servant::RemoteTrader;
 use crate::service_type::{PropDef, ServiceTypeDef};
 use crate::Result;
 
@@ -57,7 +57,7 @@ struct TraderInner {
     types: RwLock<HashMap<String, ServiceTypeDef>>,
     offers: RwLock<BTreeMap<u64, OfferEntry>>,
     next_offer: AtomicU64,
-    links: RwLock<Vec<(String, ObjRef)>>,
+    links: LinkSet,
     rng: Mutex<StdRng>,
     queries: AtomicU64,
     sweeping: AtomicBool,
@@ -93,7 +93,7 @@ impl Trader {
                 types: RwLock::new(HashMap::new()),
                 offers: RwLock::new(BTreeMap::new()),
                 next_offer: AtomicU64::new(1),
-                links: RwLock::new(Vec::new()),
+                links: LinkSet::default(),
                 rng: Mutex::new(StdRng::seed_from_u64(0x7261_6465)),
                 queries: AtomicU64::new(0),
                 sweeping: AtomicBool::new(false),
@@ -479,17 +479,17 @@ impl Trader {
 
     /// Links another trader; queries with remaining hops are forwarded.
     pub fn add_link(&self, name: impl Into<String>, target: ObjRef) {
-        self.inner.links.write().push((name.into(), target));
+        self.inner.links.add(name, target);
+    }
+
+    /// Unlinks a federated trader; `true` if the link existed.
+    pub fn remove_link(&self, name: &str) -> bool {
+        self.inner.links.remove(name)
     }
 
     /// Names of federation links.
     pub fn link_names(&self) -> Vec<String> {
-        self.inner
-            .links
-            .read()
-            .iter()
-            .map(|(n, _)| n.clone())
-            .collect()
+        self.inner.links.names()
     }
 
     // ---- lookup (import side) ---------------------------------------------
@@ -573,18 +573,9 @@ impl Trader {
         }
         span.attr("matches", &matches.len().to_string());
 
-        // Federation: spend one hop per link traversal.
-        if q.policies.hop_count > 0 {
-            let links = self.inner.links.read().clone();
-            for (_name, target) in links {
-                let mut sub = q.clone();
-                sub.policies.hop_count -= 1;
-                let remote = RemoteTrader::new(self.inner.orb.proxy(&target));
-                if let Ok(remote_matches) = crate::servant::remote_query(&remote, &sub) {
-                    matches.extend(remote_matches);
-                }
-            }
-        }
+        // Federation: spend one hop per link traversal (see `link.rs`
+        // for the traversal, dedup, and degradation rules).
+        self.inner.links.federate(&self.inner.orb, q, &mut matches);
 
         let props: Vec<Vec<(String, Value)>> =
             matches.iter().map(|m| m.properties.clone()).collect();

@@ -50,6 +50,7 @@
 //! ```
 #![doc(html_root_url = "https://docs.rs/adapta")]
 
+pub use adapta_balancer as balancer;
 pub use adapta_core as core;
 pub use adapta_idl as idl;
 pub use adapta_monitor as monitor;

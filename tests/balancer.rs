@@ -1,0 +1,423 @@
+//! Integration tests for the adapta-balancer subsystem: a smart proxy
+//! in *balanced* mode materializes its trader query into a live
+//! replica set and routes every invocation through a pluggable policy,
+//! feeding call latencies and outcomes back into per-replica stats.
+//!
+//! The acceptance behaviors exercised here:
+//!
+//! * P2C-over-EWMA prefers the faster replica under latency skew;
+//! * a mid-run degradation drains traffic off the slowed replica;
+//! * the set refreshes to pick up new exports without a proxy restart;
+//! * breaker-open replicas receive zero policy picks;
+//! * the routing policy can be swapped at run time while invocations
+//!   are in flight, without dropping any of them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adapta::core::{SmartProxy, SmartProxyBuilder};
+use adapta::idl::{InterfaceRepository, Value};
+use adapta::orb::{ObjRef, Orb, ServantFn};
+use adapta::trading::{ExportRequest, ServiceTypeDef, Trader};
+
+/// One replica servant whose service time is steerable at run time
+/// (microseconds; shared atomics let tests degrade a replica mid-run).
+fn spawn_replica(orb: &Orb, service: &str, key: &str, sleep_us: Arc<AtomicU64>) -> ObjRef {
+    let name = key.to_string();
+    orb.activate(
+        key,
+        ServantFn::new(service, move |op, args| {
+            let us = sleep_us.load(Ordering::Relaxed);
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+            match op {
+                "whoami" => Ok(Value::from(name.as_str())),
+                _ => Ok(Value::Seq(args)),
+            }
+        }),
+    )
+    .unwrap()
+}
+
+/// Orb + trader + `replicas` steerable servants exported under
+/// `service`, plus a proxy builder over them. Returns the per-replica
+/// sleep knobs in declaration order.
+fn balanced_rig(
+    service: &str,
+    replicas: &[(&str, u64)],
+) -> (Orb, Trader, SmartProxyBuilder, Vec<Arc<AtomicU64>>) {
+    let orb = Orb::new(&format!("bal-{service}"));
+    let trader = Trader::new(&orb);
+    trader.add_type(ServiceTypeDef::new(service)).unwrap();
+    let mut knobs = Vec::new();
+    for (key, us) in replicas {
+        let knob = Arc::new(AtomicU64::new(*us));
+        let target = spawn_replica(&orb, service, key, knob.clone());
+        trader.export(ExportRequest::new(service, target)).unwrap();
+        knobs.push(knob);
+    }
+    let repo = InterfaceRepository::new();
+    let builder = SmartProxy::builder(&orb, &repo, Arc::new(trader.clone()), service);
+    (orb, trader, builder, knobs)
+}
+
+/// Current pick counters keyed by the replica's servant key.
+fn picks_by_servant(proxy: &SmartProxy) -> HashMap<String, u64> {
+    proxy
+        .balancer()
+        .expect("proxy is balanced")
+        .replicas()
+        .into_iter()
+        .map(|r| (r.target().key.clone(), r.stats().picks()))
+        .collect()
+}
+
+#[test]
+fn p2c_prefers_the_faster_replica_under_latency_skew() {
+    // 2x service-time skew: 1 ms vs 2 ms.
+    let (_orb, _trader, builder, _knobs) =
+        balanced_rig("P2cSkew", &[("fast", 1_000), ("slow", 2_000)]);
+    let proxy = builder.balanced("p2c_ewma").build().unwrap();
+
+    // Warm-up: both replicas need at least one latency sample before
+    // the EWMA comparison means anything.
+    for _ in 0..10 {
+        proxy.invoke("echo", vec![Value::Long(0)]).unwrap();
+    }
+    let before = picks_by_servant(&proxy);
+
+    const CALLS: u64 = 60;
+    for i in 0..CALLS {
+        proxy.invoke("echo", vec![Value::Long(i as i64)]).unwrap();
+    }
+    let after = picks_by_servant(&proxy);
+    let fast = after["fast"] - before["fast"];
+    let slow = after["slow"] - before["slow"];
+    assert_eq!(fast + slow, CALLS);
+    assert!(
+        fast * 10 >= CALLS * 7,
+        "p2c_ewma sent only {fast}/{CALLS} picks to the 2x-faster replica (slow got {slow})"
+    );
+}
+
+#[test]
+fn mid_run_degradation_drains_the_slowed_replica() {
+    let (_orb, _trader, builder, knobs) = balanced_rig("Degrade", &[("a", 1_000), ("b", 1_000)]);
+    let proxy = builder.balanced("p2c_ewma").build().unwrap();
+
+    // Phase 1: equal speeds — both replicas carry traffic.
+    for _ in 0..40 {
+        proxy.invoke("echo", vec![]).unwrap();
+    }
+    let phase1 = picks_by_servant(&proxy);
+    assert!(
+        phase1["a"] > 0 && phase1["b"] > 0,
+        "both should serve: {phase1:?}"
+    );
+
+    // Phase 2: replica `a` degrades 12x mid-run. The EWMA feedback loop
+    // must steer new picks away without any rebinding step.
+    knobs[0].store(12_000, Ordering::Relaxed);
+    for _ in 0..60 {
+        proxy.invoke("echo", vec![]).unwrap();
+    }
+    let phase2 = picks_by_servant(&proxy);
+    let a = phase2["a"] - phase1["a"];
+    let b = phase2["b"] - phase1["b"];
+    assert_eq!(a + b, 60);
+    assert!(
+        a * 10 <= 60 * 3,
+        "degraded replica still drew {a}/60 picks (healthy got {b})"
+    );
+}
+
+#[test]
+fn refresh_picks_up_new_exports_without_a_proxy_restart() {
+    let (orb, trader, builder, _knobs) = balanced_rig("Grow", &[("first", 0)]);
+    let proxy = builder.balanced("round_robin").build().unwrap();
+    assert_eq!(proxy.balancer().unwrap().len(), 1);
+
+    // A new component exports itself after the proxy is live.
+    let knob = Arc::new(AtomicU64::new(0));
+    let target = spawn_replica(&orb, "Grow", "second", knob);
+    trader.export(ExportRequest::new("Grow", target)).unwrap();
+
+    // In balanced mode reselect() == refresh(); true means the set changed.
+    assert!(proxy.reselect().unwrap());
+    assert_eq!(proxy.balancer().unwrap().len(), 2);
+
+    // Round-robin immediately spreads onto the newcomer.
+    for _ in 0..6 {
+        proxy.invoke("echo", vec![]).unwrap();
+    }
+    let picks = picks_by_servant(&proxy);
+    assert!(picks["second"] >= 2, "newcomer never picked: {picks:?}");
+
+    let snap = adapta::telemetry::registry().snapshot();
+    assert!(snap.counter("balancer.Grow.refreshes").unwrap_or(0) >= 2);
+    assert!(snap.counter("balancer.Grow.added").unwrap_or(0) >= 2);
+}
+
+#[test]
+fn background_refresher_tracks_exports_and_withdrawals() {
+    let (orb, trader, builder, _knobs) = balanced_rig("Bg", &[("bg-a", 0)]);
+    let proxy = builder
+        .balanced("round_robin")
+        .balancer_refresh(Duration::from_millis(20))
+        .build()
+        .unwrap();
+
+    let knob = Arc::new(AtomicU64::new(0));
+    let target = spawn_replica(&orb, "Bg", "bg-b", knob);
+    let id = trader.export(ExportRequest::new("Bg", target)).unwrap();
+    let wait_for_len = |n: usize| {
+        for _ in 0..200 {
+            if proxy.balancer().unwrap().len() == n {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    };
+    assert!(wait_for_len(2), "background refresher never saw the export");
+
+    // Withdrawal evicts the replica on a later background pass.
+    trader.withdraw(&id).unwrap();
+    assert!(wait_for_len(1), "background refresher never evicted");
+    let snap = adapta::telemetry::registry().snapshot();
+    assert!(snap.counter("balancer.Bg.evictions").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn breaker_open_replicas_receive_zero_picks() {
+    let service = "BrkBal";
+    let orb = Orb::new("bal-breaker");
+    let trader = Trader::new(&orb);
+    trader.add_type(ServiceTypeDef::new(service)).unwrap();
+    for key in ["live-a", "live-b"] {
+        let target = spawn_replica(&orb, service, key, Arc::new(AtomicU64::new(0)));
+        trader.export(ExportRequest::new(service, target)).unwrap();
+    }
+    // A crashed server's stale offer: nothing listens on port 9.
+    let dead = ObjRef::new("tcp://127.0.0.1:9", "dead", service);
+    trader
+        .export(ExportRequest::new(service, dead.clone()))
+        .unwrap();
+
+    let repo = InterfaceRepository::new();
+    let proxy = SmartProxy::builder(&orb, &repo, Arc::new(trader), service)
+        .balanced("round_robin")
+        .circuit_breaker(adapta::core::BreakerConfig {
+            window: 1,
+            min_calls: 1,
+            failure_threshold: 0.5,
+            open_for: Duration::from_secs(120),
+        })
+        .build()
+        .unwrap();
+
+    // Round-robin routes the dead replica its share; the failures trip
+    // its breaker (two outcomes fill the window) while failover keeps
+    // every call succeeding on a live replica.
+    for _ in 0..8 {
+        proxy.invoke("echo", vec![]).unwrap();
+    }
+    assert_eq!(
+        proxy.breaker_state(&dead),
+        Some(adapta::core::BreakerState::Open),
+        "the dead replica's breaker should have opened"
+    );
+
+    // With the breaker open (and its 120 s cool-down running), the dead
+    // replica must draw ZERO further picks.
+    let stalled = picks_by_servant(&proxy)["dead"];
+    for _ in 0..40 {
+        proxy.invoke("echo", vec![]).unwrap();
+    }
+    let now = picks_by_servant(&proxy);
+    assert_eq!(
+        now["dead"], stalled,
+        "breaker-open replica kept drawing picks"
+    );
+    assert!(now["live-a"] > 0 && now["live-b"] > 0);
+}
+
+#[test]
+fn runtime_policy_swap_drops_no_in_flight_calls() {
+    let (_orb, _trader, builder, _knobs) =
+        balanced_rig("Swap", &[("sw-a", 200), ("sw-b", 200), ("sw-c", 200)]);
+    let proxy = builder.balanced("round_robin").build().unwrap();
+    assert_eq!(proxy.balancer_policy().as_deref(), Some("round_robin"));
+
+    const THREADS: usize = 4;
+    const CALLS: usize = 50;
+    let completed = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let proxy = proxy.clone();
+        let completed = completed.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..CALLS {
+                let tag = (t * CALLS + i) as i64;
+                let out = proxy
+                    .invoke("echo", vec![Value::Long(tag)])
+                    .expect("invoke across policy swaps");
+                assert_eq!(out, Value::Seq(vec![Value::Long(tag)]));
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    // Swap policies continuously while the callers hammer the proxy.
+    let policies = [
+        "least_inflight",
+        "p2c_ewma",
+        "consistent_hash",
+        "round_robin",
+    ];
+    let mut swaps = 0usize;
+    while completed.load(Ordering::Relaxed) < THREADS * CALLS {
+        assert!(proxy.set_balancer_policy(policies[swaps % policies.len()]));
+        swaps += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(proxy.invocations(), (THREADS * CALLS) as u64);
+    assert!(swaps >= 2, "the race window was too short to swap twice");
+    let snap = adapta::telemetry::registry().snapshot();
+    assert!(snap.counter("balancer.Swap.policy_switches").unwrap_or(0) >= swaps as u64);
+}
+
+#[test]
+fn consistent_hash_affinity_keys_stick_to_one_replica() {
+    let (_orb, _trader, builder, _knobs) =
+        balanced_rig("Affinity", &[("af-a", 0), ("af-b", 0), ("af-c", 0)]);
+    let proxy = builder.balanced("consistent_hash").build().unwrap();
+
+    for _ in 0..30 {
+        proxy
+            .invoke_keyed("echo", vec![], Some(0xDEAD_BEEF))
+            .unwrap();
+    }
+    let picks = picks_by_servant(&proxy);
+    let serving: Vec<_> = picks.iter().filter(|(_, &n)| n > 0).collect();
+    assert_eq!(
+        serving.len(),
+        1,
+        "one session key should map to exactly one replica: {picks:?}"
+    );
+}
+
+#[test]
+fn unmatched_strict_constraint_counts_a_relaxed_query_and_fires_the_event() {
+    use adapta::core::RELAXED_QUERY_EVENT;
+    use adapta::idl::TypeCode;
+    use adapta::trading::{PropDef, PropMode};
+
+    let service = "RelaxSvc";
+    let orb = Orb::new("bal-relax");
+    let trader = Trader::new(&orb);
+    trader
+        .add_type(ServiceTypeDef::new(service).with_property(PropDef::new(
+            "Rank",
+            TypeCode::Long,
+            PropMode::Normal,
+        )))
+        .unwrap();
+    let target = spawn_replica(&orb, service, "only", Arc::new(AtomicU64::new(0)));
+    trader
+        .export(ExportRequest::new(service, target).with_property("Rank", Value::Long(1)))
+        .unwrap();
+
+    let fired = Arc::new(AtomicUsize::new(0));
+    let fired_in_strategy = fired.clone();
+    let repo = InterfaceRepository::new();
+    // No offer satisfies the strict constraint, so binding falls back
+    // to the relaxed (type-only) query — which is no longer silent.
+    let proxy = SmartProxy::builder(&orb, &repo, Arc::new(trader), service)
+        .constraint("Rank > 100")
+        .strategy_native(RELAXED_QUERY_EVENT, move |_proxy, _event| {
+            fired_in_strategy.fetch_add(1, Ordering::Relaxed);
+        })
+        .build()
+        .unwrap();
+
+    assert!(proxy.relaxed_queries() >= 1, "fallback went uncounted");
+    let snap = adapta::telemetry::registry().snapshot();
+    assert!(
+        snap.counter("smartproxy.RelaxSvc.failover.relaxed_queries")
+            .unwrap_or(0)
+            >= 1
+    );
+
+    // The queued RelaxedQuery event reaches its strategy on the next
+    // invocation (postponed handling, like any other adaptation event).
+    proxy.invoke("echo", vec![]).unwrap();
+    assert!(fired.load(Ordering::Relaxed) >= 1, "strategy never ran");
+}
+
+#[test]
+fn rua_scripts_can_inspect_and_swap_the_policy() {
+    let (_orb, _trader, builder, _knobs) = balanced_rig("Scripted", &[("sc-a", 0), ("sc-b", 0)]);
+    let proxy = builder.balanced("round_robin").build().unwrap();
+    for _ in 0..4 {
+        proxy.invoke("echo", vec![]).unwrap();
+    }
+
+    let mut interp = adapta::script::Interpreter::new();
+    adapta::core::script_env::install_balancer(&mut interp, proxy.clone());
+    let out = interp
+        .eval(
+            r#"
+            local before = balancer_policy()
+            local swapped = balancer_set_policy("least_inflight")
+            local replicas = balancer_replicas()
+            local picks = 0
+            for i = 1, #replicas do picks = picks + replicas[i].picks end
+            return before, swapped, balancer_policy(), picks
+            "#,
+        )
+        .unwrap();
+    assert_eq!(out[0].as_str(), Some("round_robin"));
+    assert_eq!(out[1], adapta::script::Value::Bool(true));
+    assert_eq!(out[2].as_str(), Some("least_inflight"));
+    assert_eq!(out[3].as_num(), Some(4.0));
+    assert_eq!(proxy.balancer_policy().as_deref(), Some("least_inflight"));
+}
+
+#[test]
+fn monitor_load_pushes_feed_replica_stats_through_the_observer() {
+    use adapta::core::{Infrastructure, ServerSpec};
+
+    let infra = Infrastructure::in_process().unwrap();
+    for host in ["feed-a", "feed-b"] {
+        infra
+            .spawn_server(ServerSpec::echo("FeedSvc", host))
+            .unwrap();
+    }
+    let proxy = infra
+        .smart_proxy("FeedSvc")
+        .balanced("weighted_property:LoadAvg")
+        .build()
+        .unwrap();
+
+    // Load one host and let its monitor tick: the always-true load-feed
+    // predicate pushes every observed value straight into the replica's
+    // stats — no strategy or rebind involved.
+    infra.set_background("feed-a", 5.0);
+    infra.advance_in_steps(Duration::from_secs(150), Duration::from_secs(30));
+
+    let set = proxy.balancer().unwrap();
+    let fed = set
+        .replicas()
+        .iter()
+        .filter(|r| r.stats().load().is_some())
+        .count();
+    assert!(fed > 0, "no replica ever received a monitor load push");
+    let snap = adapta::telemetry::registry().snapshot();
+    assert!(snap.counter("balancer.FeedSvc.load_pushes").unwrap_or(0) >= 1);
+}
